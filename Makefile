@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench cover report figures examples vet
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem -benchtime=1x -run='^$$' .
+
+cover:
+	go test ./internal/... -coverprofile=cover.out
+	go tool cover -func=cover.out | tail -1
+
+# Regenerate every paper artifact as text.
+figures:
+	go run ./cmd/mrexperiments -run all
+
+# Self-contained HTML report with SVG charts.
+report:
+	go run ./cmd/mrexperiments -html report.html
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/expedited
+	go run ./examples/singlerun
+	go run ./examples/multitenant
+	go run ./examples/whatif
+	go run ./examples/hotspot

@@ -1,0 +1,317 @@
+// Package cluster models the hardware substrate of a MapReduce cluster:
+// nodes with CPUs, memory, disks and NICs arranged in racks. Shared
+// channels (disk bandwidth, NIC bandwidth, rack uplinks, CPU pools) are
+// modelled as max-min fair-shared links; concurrent flows on a link
+// progress at the fair-share rate, recomputed event-driven whenever a
+// flow starts or finishes. This reproduces the contention effects
+// (spill I/O, shuffle congestion, CPU caps from container vcores) that
+// MRONLINE's tuning exploits on the paper's physical 19-node cluster.
+//
+// Units: data quantities are in MB (1e6 bytes) and rates in MB/s; CPU
+// work is in core-seconds and CPU rates in cores. Time is in seconds.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Link is a capacity-constrained shared channel: a disk, a NIC
+// direction, a rack uplink, or a node's CPU pool.
+type Link struct {
+	Name     string
+	Capacity float64 // units per second
+
+	used metrics.Meter // current aggregate rate of flows on this link
+
+	// scratch state for the progressive-filling computation
+	remaining float64
+	count     int
+}
+
+// Utilization returns the time-average fraction of capacity in use
+// through time now.
+func (l *Link) Utilization(now float64) float64 {
+	if l.Capacity <= 0 {
+		return 0
+	}
+	return l.used.Average(now) / l.Capacity
+}
+
+// CurrentRate returns the aggregate rate currently flowing on the link.
+func (l *Link) CurrentRate() float64 { return l.used.Level() }
+
+// Flow is an in-progress transfer or computation consuming fair-share
+// capacity on one or more links, optionally bounded by a rate cap (for
+// CPU flows, the container's vcore allowance).
+type Flow struct {
+	fabric      *Fabric
+	links       []*Link
+	remaining   float64
+	rateCap     float64 // 0 means unlimited
+	rate        float64
+	lastAdvance float64
+	done        func()
+	ev          *sim.Event
+	index       int
+	frozen      bool // scratch for progressive filling
+	finished    bool
+}
+
+// Remaining returns the amount of work left, valid as of the last rate
+// recomputation.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the current fair-share rate.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow completed or was canceled.
+func (f *Flow) Done() bool { return f.finished }
+
+// Cancel aborts the flow; its done callback will not fire. Canceling
+// a completed flow is a no-op.
+func (f *Flow) Cancel() { f.fabric.Cancel(f) }
+
+// Fabric manages a set of links whose flows may interact (share links).
+// Separate resource domains (each node's disk, each node's CPU pool,
+// the cluster network) use separate fabrics so that rate recomputation
+// stays local to the domain.
+type Fabric struct {
+	Name  string
+	eng   *sim.Engine
+	links []*Link
+	flows []*Flow
+}
+
+// NewFabric returns an empty fabric bound to the engine.
+func NewFabric(eng *sim.Engine, name string) *Fabric {
+	return &Fabric{Name: name, eng: eng}
+}
+
+// AddLink registers a link with the fabric and returns it.
+func (fb *Fabric) AddLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cluster: link %q must have positive capacity, got %v", name, capacity))
+	}
+	l := &Link{Name: name, Capacity: capacity}
+	l.used.Set(fb.eng.Now(), 0) // anchor utilization accounting at creation
+	fb.links = append(fb.links, l)
+	return l
+}
+
+// ActiveFlows returns the number of in-flight flows in the fabric.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+
+// Start begins a flow of `work` units across the given links, at most
+// rateCap units/s (0 = unlimited), invoking done when the work
+// completes. Links must belong to this fabric. A flow must be
+// constrained by at least one link or a positive rate cap.
+func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow {
+	if len(links) == 0 && rateCap <= 0 {
+		panic("cluster: flow with no links and no rate cap would be infinitely fast")
+	}
+	if work < 0 || math.IsNaN(work) || math.IsInf(work, 0) {
+		panic(fmt.Sprintf("cluster: invalid flow work %v", work))
+	}
+	f := &Flow{fabric: fb, links: links, remaining: work, rateCap: rateCap, done: done, index: -1}
+	if work == 0 {
+		// Zero-size work completes immediately (but asynchronously, to
+		// keep callback ordering uniform).
+		fb.eng.After(0, func() {
+			if !f.finished {
+				f.finished = true
+				if done != nil {
+					done()
+				}
+			}
+		})
+		return f
+	}
+	f.index = len(fb.flows)
+	fb.flows = append(fb.flows, f)
+	fb.recompute()
+	return f
+}
+
+// Cancel aborts a flow; done is not called.
+func (fb *Fabric) Cancel(f *Flow) {
+	if f == nil || f.finished {
+		return
+	}
+	f.finished = true
+	if f.ev != nil {
+		fb.eng.Cancel(f.ev)
+		f.ev = nil
+	}
+	if f.index >= 0 {
+		fb.remove(f)
+		fb.recompute()
+	}
+}
+
+func (fb *Fabric) remove(f *Flow) {
+	i := f.index
+	last := len(fb.flows) - 1
+	fb.flows[i] = fb.flows[last]
+	fb.flows[i].index = i
+	fb.flows[last] = nil
+	fb.flows = fb.flows[:last]
+	f.index = -1
+}
+
+func (fb *Fabric) complete(f *Flow) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	f.ev = nil
+	f.remaining = 0
+	fb.remove(f)
+	// Recompute before the callback so that work started inside the
+	// callback sees up-to-date rates (it will trigger its own
+	// recompute anyway, but intermediate meter accounting stays exact).
+	fb.recompute()
+	if f.done != nil {
+		f.done()
+	}
+}
+
+// recompute advances all flows' remaining work, recomputes max-min fair
+// rates with per-flow caps via uniform-increment progressive filling,
+// and reschedules completion events.
+func (fb *Fabric) recompute() {
+	now := fb.eng.Now()
+
+	// Advance remaining work at the old rates before changing them.
+	fb.advance(now)
+
+	// Progressive filling.
+	for _, l := range fb.links {
+		l.remaining = l.Capacity
+		l.count = 0
+	}
+	unfrozen := 0
+	for _, f := range fb.flows {
+		f.frozen = false
+		f.rate = 0
+		unfrozen++
+		for _, l := range f.links {
+			l.count++
+		}
+	}
+	const relEps = 1e-12
+	for unfrozen > 0 {
+		delta := math.Inf(1)
+		for _, l := range fb.links {
+			if l.count > 0 {
+				if share := l.remaining / float64(l.count); share < delta {
+					delta = share
+				}
+			}
+		}
+		for _, f := range fb.flows {
+			if !f.frozen && f.rateCap > 0 {
+				if room := f.rateCap - f.rate; room < delta {
+					delta = room
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			// No link and no cap constrains the remaining flows; this
+			// cannot happen given the Start precondition, but guard
+			// against an all-caps-reached stall.
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for _, f := range fb.flows {
+			if !f.frozen {
+				f.rate += delta
+			}
+		}
+		for _, l := range fb.links {
+			l.remaining -= delta * float64(l.count)
+		}
+		// Freeze flows that hit their cap or sit on an exhausted link.
+		for _, f := range fb.flows {
+			if f.frozen {
+				continue
+			}
+			freeze := false
+			if f.rateCap > 0 && f.rate >= f.rateCap-relEps*f.rateCap {
+				freeze = true
+			}
+			if !freeze {
+				for _, l := range f.links {
+					if l.remaining <= relEps*l.Capacity {
+						freeze = true
+						break
+					}
+				}
+			}
+			if freeze {
+				f.frozen = true
+				unfrozen--
+				for _, l := range f.links {
+					l.count--
+				}
+			}
+		}
+		if delta == 0 && unfrozen > 0 {
+			// All remaining flows are rate-0 (exhausted links with
+			// count>0 but zero remaining). Freeze them to terminate.
+			for _, f := range fb.flows {
+				if !f.frozen {
+					f.frozen = true
+					unfrozen--
+					for _, l := range f.links {
+						l.count--
+					}
+				}
+			}
+		}
+	}
+
+	// Update link meters and reschedule completions.
+	for _, l := range fb.links {
+		total := 0.0
+		for _, f := range fb.flows {
+			for _, fl := range f.links {
+				if fl == l {
+					total += f.rate
+					break
+				}
+			}
+		}
+		l.used.Set(now, total)
+	}
+	for _, f := range fb.flows {
+		if f.ev != nil {
+			fb.eng.Cancel(f.ev)
+			f.ev = nil
+		}
+		f.lastAdvance = now
+		if f.rate > 0 {
+			f := f
+			f.ev = fb.eng.After(f.remaining/f.rate, func() { fb.complete(f) })
+		}
+	}
+}
+
+// advance moves every flow's remaining-work counter forward to now at
+// its current rate.
+func (fb *Fabric) advance(now float64) {
+	for _, f := range fb.flows {
+		if f.rate > 0 {
+			f.remaining -= f.rate * (now - f.lastAdvance)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastAdvance = now
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Node is one machine: a CPU pool, a container memory pool, one disk,
+// and a full-duplex NIC. The disk and CPU each live in their own
+// single-link fabric (contention is node-local); the NIC links live in
+// the cluster-wide network fabric.
+type Node struct {
+	ID   int
+	Name string
+	Rack int
+
+	// Cores is the physical compute capacity in core-seconds/second.
+	Cores float64
+	// VCores is the node manager's advertised virtual core count for
+	// container allocation (yarn.nodemanager.resource.cpu-vcores minus
+	// the daemon reservation).
+	VCores int
+
+	Mem *MemPool // container memory, MB
+
+	cpu      *Fabric
+	cpuLink  *Link
+	disk     *Fabric
+	diskLink *Link
+
+	NICIn  *Link // receive direction, in the cluster network fabric
+	NICOut *Link // transmit direction
+
+	cluster *Cluster
+}
+
+// CoreRatio returns physical cores per vcore: a container holding v
+// vcores may consume up to v*CoreRatio() physical cores (cgroup-style
+// enforcement, as in the paper's utilization discussion).
+func (n *Node) CoreRatio() float64 {
+	return n.Cores / float64(n.VCores)
+}
+
+// Compute starts a CPU flow of cpuSeconds core-seconds, bounded by
+// maxCores (the container's vcore allowance times CoreRatio, further
+// capped by the phase's thread parallelism). done fires on completion.
+func (n *Node) Compute(cpuSeconds, maxCores float64, done func()) *Flow {
+	if maxCores <= 0 {
+		panic(fmt.Sprintf("cluster: Compute on %s with non-positive core cap %v", n.Name, maxCores))
+	}
+	return n.cpu.Start([]*Link{n.cpuLink}, cpuSeconds, maxCores, done)
+}
+
+// DiskRead starts a disk flow of mb megabytes. Reads and writes share
+// the single disk channel, as on the paper's one-SATA-disk nodes.
+func (n *Node) DiskRead(mb float64, done func()) *Flow {
+	return n.disk.Start([]*Link{n.diskLink}, mb, 0, done)
+}
+
+// DiskWrite starts a disk flow of mb megabytes.
+func (n *Node) DiskWrite(mb float64, done func()) *Flow {
+	return n.disk.Start([]*Link{n.diskLink}, mb, 0, done)
+}
+
+// CancelFlow aborts a flow previously started on this node's CPU or
+// disk, or in the cluster network.
+func (n *Node) CancelFlow(f *Flow) {
+	if f == nil {
+		return
+	}
+	f.fabric.Cancel(f)
+}
+
+// CPUUtilization returns the time-average fraction of physical cores
+// busy through now.
+func (n *Node) CPUUtilization(now float64) float64 { return n.cpuLink.Utilization(now) }
+
+// DiskUtilization returns the time-average fraction of disk bandwidth
+// busy through now.
+func (n *Node) DiskUtilization(now float64) float64 { return n.diskLink.Utilization(now) }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// CPULoad returns the instantaneous fraction of physical cores busy —
+// the "dynamic cluster utilization information" MRONLINE's monitor
+// samples for hot-spot avoidance.
+func (n *Node) CPULoad() float64 {
+	return n.cpuLink.CurrentRate() / n.cpuLink.Capacity
+}
+
+// DiskLoad returns the instantaneous fraction of disk bandwidth busy.
+func (n *Node) DiskLoad() float64 {
+	return n.diskLink.CurrentRate() / n.diskLink.Capacity
+}
+
+// InjectDiskLoad starts background disk traffic on the node: up to
+// `rate` MB/s (competing fairly with task I/O) for `duration` seconds.
+// It models interference from co-located services — the cluster hot
+// spots the paper's online tuning reacts to.
+func (n *Node) InjectDiskLoad(rate, duration float64, done func()) *Flow {
+	return n.disk.Start([]*Link{n.diskLink}, rate*duration, rate, done)
+}
+
+// InjectCPULoad starts a background computation using up to `cores`
+// cores for `duration` seconds.
+func (n *Node) InjectCPULoad(cores, duration float64, done func()) *Flow {
+	return n.cpu.Start([]*Link{n.cpuLink}, cores*duration, cores, done)
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes a homogeneous cluster. The zero value is not usable;
+// use PaperConfig for the testbed in the MRONLINE paper.
+type Config struct {
+	// RackSizes gives the number of worker nodes per rack.
+	RackSizes []int
+	// CoresPerNode is physical compute capacity per node (core-sec/sec).
+	CoresPerNode float64
+	// VCoresPerNode is the vcore count advertised for containers.
+	VCoresPerNode int
+	// ContainerMemMB is the memory available for containers per node.
+	ContainerMemMB float64
+	// DiskMBps is sequential disk bandwidth per node.
+	DiskMBps float64
+	// NICMBps is NIC bandwidth per direction per node.
+	NICMBps float64
+	// UplinkMBps is the effective inter-rack aggregate bandwidth. Flows
+	// between racks traverse this shared link in addition to both NICs.
+	UplinkMBps float64
+	// Classes, when non-empty, builds a heterogeneous cluster instead
+	// of the homogeneous RackSizes layout: nodes are created per class
+	// and spread round-robin across len(RackSizes) racks (the sizes
+	// themselves are ignored).
+	Classes []NodeClass
+}
+
+// NodeClass describes one hardware flavor in a heterogeneous cluster.
+type NodeClass struct {
+	Count          int
+	Cores          float64
+	VCores         int
+	ContainerMemMB float64
+	DiskMBps       float64
+	NICMBps        float64
+}
+
+// PaperConfig returns the MRONLINE testbed: 18 worker nodes in racks of
+// 9 and 9 (the paper's 19th node runs only the master and is not
+// modelled as a worker), two quad-core Xeons (8 cores) per node, 8 GB
+// RAM of which 6 GB is available for containers, 28 vcores for
+// containers out of 32 advertised (each vcore = 1/4 physical core),
+// one SATA disk (~90 MB/s), and 1 Gbps Ethernet (~117 MB/s).
+func PaperConfig() Config {
+	return Config{
+		RackSizes:      []int{9, 9},
+		CoresPerNode:   8,
+		VCoresPerNode:  28,
+		ContainerMemMB: 6 * 1024,
+		DiskMBps:       90,
+		NICMBps:        117,
+		UplinkMBps:     500, // ~4:1 oversubscribed rack uplinks
+	}
+}
+
+// HeterogeneousPaperConfig returns a mixed-hardware variant of the
+// testbed: 12 standard nodes plus 6 older, smaller ones — the setting
+// in which one-size-fits-all configurations hurt most and per-task
+// configuration pays.
+func HeterogeneousPaperConfig() Config {
+	cfg := PaperConfig()
+	cfg.Classes = []NodeClass{
+		{Count: 12, Cores: 8, VCores: 28, ContainerMemMB: 6 * 1024, DiskMBps: 90, NICMBps: 117},
+		{Count: 6, Cores: 4, VCores: 16, ContainerMemMB: 3 * 1024, DiskMBps: 60, NICMBps: 117},
+	}
+	return cfg
+}
+
+// Cluster owns the nodes and the shared network fabric.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*Node
+	Racks [][]*Node
+
+	net     *Fabric
+	uplinks []*Link
+	cfg     Config
+}
+
+// New builds a cluster per cfg.
+func New(eng *sim.Engine, cfg Config) *Cluster {
+	if len(cfg.RackSizes) == 0 {
+		panic("cluster: config needs at least one rack")
+	}
+	c := &Cluster{Eng: eng, cfg: cfg}
+	c.net = NewFabric(eng, "network")
+	racks := len(cfg.RackSizes)
+	c.Racks = make([][]*Node, racks)
+
+	addNode := func(rack int, cores float64, vcores int, memMB, diskMBps, nicMBps float64) {
+		id := len(c.Nodes)
+		name := fmt.Sprintf("node%02d", id)
+		n := &Node{
+			ID:      id,
+			Name:    name,
+			Rack:    rack,
+			Cores:   cores,
+			VCores:  vcores,
+			Mem:     NewMemPool(eng, name+"/mem", memMB),
+			cluster: c,
+		}
+		n.cpu = NewFabric(eng, name+"/cpu")
+		n.cpuLink = n.cpu.AddLink(name+"/cpu", cores)
+		n.disk = NewFabric(eng, name+"/disk")
+		n.diskLink = n.disk.AddLink(name+"/disk", diskMBps)
+		n.NICIn = c.net.AddLink(name+"/nic-in", nicMBps)
+		n.NICOut = c.net.AddLink(name+"/nic-out", nicMBps)
+		c.Nodes = append(c.Nodes, n)
+		c.Racks[rack] = append(c.Racks[rack], n)
+	}
+
+	if len(cfg.Classes) > 0 {
+		i := 0
+		for _, cl := range cfg.Classes {
+			if cl.Count <= 0 || cl.Cores <= 0 || cl.VCores <= 0 || cl.ContainerMemMB <= 0 {
+				panic(fmt.Sprintf("cluster: invalid node class %+v", cl))
+			}
+			for k := 0; k < cl.Count; k++ {
+				addNode(i%racks, cl.Cores, cl.VCores, cl.ContainerMemMB, cl.DiskMBps, cl.NICMBps)
+				i++
+			}
+		}
+	} else {
+		for r, size := range cfg.RackSizes {
+			for i := 0; i < size; i++ {
+				addNode(r, cfg.CoresPerNode, cfg.VCoresPerNode, cfg.ContainerMemMB, cfg.DiskMBps, cfg.NICMBps)
+			}
+		}
+	}
+	if racks > 1 {
+		for r := 0; r < racks; r++ {
+			c.uplinks = append(c.uplinks, c.net.AddLink(fmt.Sprintf("rack%d/uplink", r), cfg.UplinkMBps))
+		}
+	}
+	return c
+}
+
+// Config returns the configuration the cluster was built with.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// SameRack reports whether two nodes share a rack.
+func (c *Cluster) SameRack(a, b *Node) bool { return a.Rack == b.Rack }
+
+// Transfer moves mb megabytes from src to dst over the network,
+// traversing src's transmit NIC, dst's receive NIC, and — when the
+// nodes are on different racks — both rack uplinks. A same-node
+// transfer is a memory copy and completes (asynchronously) at once.
+func (c *Cluster) Transfer(src, dst *Node, mb float64, done func()) *Flow {
+	if src == dst {
+		return c.net.Start(nil, mb, 1e9, done) // effectively instant
+	}
+	links := []*Link{src.NICOut, dst.NICIn}
+	if src.Rack != dst.Rack && len(c.uplinks) > 0 {
+		links = append(links, c.uplinks[src.Rack], c.uplinks[dst.Rack])
+	}
+	return c.net.Start(links, mb, 0, done)
+}
+
+// Fetch starts an inbound network flow of mb megabytes terminating at
+// dst whose sources are spread across many nodes (a reducer's shuffle
+// wave). The senders' NICs are not modelled individually — with
+// hundreds of concurrent fetch streams the receive side and the rack
+// uplinks are the bottleneck — so the flow occupies dst's receive NIC
+// plus, for the crossRackFrac portion, dst's rack uplink. rateCap (0 =
+// none) bounds the aggregate fetch rate, modelling a limited number of
+// parallel copy threads.
+func (c *Cluster) Fetch(dst *Node, mb, crossRackFrac, rateCap float64, done func()) []*Flow {
+	if crossRackFrac > 0 && len(c.uplinks) > 0 {
+		// Split into a rack-local part and a cross-rack part; done fires
+		// when both complete. The rate cap is divided pro rata.
+		remaining := 2
+		child := func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		}
+		capCross, capLocal := 0.0, 0.0
+		if rateCap > 0 {
+			capCross = rateCap * crossRackFrac
+			capLocal = rateCap * (1 - crossRackFrac)
+		}
+		return []*Flow{
+			c.net.Start([]*Link{dst.NICIn, c.uplinks[dst.Rack]}, mb*crossRackFrac, capCross, child),
+			c.net.Start([]*Link{dst.NICIn}, mb*(1-crossRackFrac), capLocal, child),
+		}
+	}
+	return []*Flow{c.net.Start([]*Link{dst.NICIn}, mb, rateCap, done)}
+}
+
+// NetworkFabric exposes the shared network fabric (for tests and for
+// monitor components that sample link utilization).
+func (c *Cluster) NetworkFabric() *Fabric { return c.net }
+
+// TotalContainerMemMB returns cluster-wide container memory.
+func (c *Cluster) TotalContainerMemMB() float64 {
+	total := 0.0
+	for _, n := range c.Nodes {
+		total += n.Mem.Capacity
+	}
+	return total
+}
+
+// TotalVCores returns cluster-wide container vcores.
+func (c *Cluster) TotalVCores() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.VCores
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newClusterMon(t *testing.T, interval float64) (*sim.Engine, *cluster.Cluster, *ClusterMonitor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c := cluster.New(eng, cluster.PaperConfig())
+	return eng, c, StartClusterMonitor(eng, c, interval)
+}
+
+func TestClusterMonitorSamples(t *testing.T) {
+	eng, c, m := newClusterMon(t, 5)
+	c.Nodes[0].InjectCPULoad(4, 100, nil) // half the node, long-lived
+	eng.RunUntil(21)
+	m.Stop()
+	eng.Run()
+
+	s, ok := m.Latest(c.Nodes[0].Name)
+	if !ok {
+		t.Fatal("no samples for node00")
+	}
+	if s.CPULoad < 0.45 || s.CPULoad > 0.55 {
+		t.Fatalf("sampled CPU load = %v, want ~0.5", s.CPULoad)
+	}
+	if len(m.History(c.Nodes[0].Name)) != 4 { // t=5,10,15,20
+		t.Fatalf("history length = %d, want 4", len(m.History(c.Nodes[0].Name)))
+	}
+	if _, ok := m.Latest("no-such-node"); ok {
+		t.Fatal("sample for unknown node")
+	}
+}
+
+func TestClusterMonitorStops(t *testing.T) {
+	eng, _, m := newClusterMon(t, 5)
+	eng.RunUntil(12)
+	m.Stop()
+	eng.Run() // must drain without the monitor keeping it alive
+	if eng.Pending() != 0 {
+		t.Fatalf("events pending after Stop: %d", eng.Pending())
+	}
+}
+
+func TestClusterMonitorRingBound(t *testing.T) {
+	eng, c, m := newClusterMon(t, 1)
+	m.Capacity = 10
+	eng.RunUntil(50)
+	m.Stop()
+	eng.Run()
+	if got := len(m.History(c.Nodes[0].Name)); got != 10 {
+		t.Fatalf("history = %d samples, want capacity 10", got)
+	}
+}
+
+func TestWindowAverageSmoothsSpikes(t *testing.T) {
+	eng, c, m := newClusterMon(t, 1)
+	n := c.Nodes[0]
+	// Busy only from t=9 to t=10: one hot sample out of the window.
+	eng.At(9, func() { n.InjectDiskLoad(90, 1, nil) })
+	eng.RunUntil(10.5)
+	m.Stop()
+	eng.Run()
+
+	peak := 0.0
+	for _, smp := range m.History(n.Name) {
+		if smp.DiskLoad > peak {
+			peak = smp.DiskLoad
+		}
+	}
+	if peak < 0.9 {
+		t.Fatalf("no sample caught the spike, peak %v", peak)
+	}
+	avg, ok := m.WindowAverage(n.Name, 10)
+	if !ok {
+		t.Fatal("no window average")
+	}
+	if avg.DiskLoad > 0.3 {
+		t.Fatalf("10s window average %v should smooth a 1s spike", avg.DiskLoad)
+	}
+}
+
+func TestHotNodesAndSmoothedFilter(t *testing.T) {
+	eng, c, m := newClusterMon(t, 1)
+	hot := c.Nodes[3]
+	for k := 0; k < 4; k++ {
+		hot.InjectDiskLoad(30, 100, nil)
+	}
+	eng.RunUntil(10)
+	m.Stop()
+	eng.Run()
+
+	hots := m.HotNodes(DefaultHotSpotThresholds(), 5)
+	if len(hots) != 1 || hots[0] != hot {
+		t.Fatalf("HotNodes = %v, want exactly node03", hots)
+	}
+	f := m.SmoothedHotSpotFilter(DefaultHotSpotThresholds(), 5)
+	if f(hot) {
+		t.Fatal("smoothed filter accepts the hot node")
+	}
+	if !f(c.Nodes[0]) {
+		t.Fatal("smoothed filter rejects an idle node")
+	}
+}
+
+func TestSmoothedFilterNoDataAccepts(t *testing.T) {
+	eng, c, _ := newClusterMon(t, 1000)
+	m2 := StartClusterMonitor(eng, c, 1000)
+	f := m2.SmoothedHotSpotFilter(DefaultHotSpotThresholds(), 5)
+	if !f(c.Nodes[0]) {
+		t.Fatal("filter with no samples must not veto")
+	}
+}
+
+func TestClusterMonitorSummary(t *testing.T) {
+	eng, _, m := newClusterMon(t, 5)
+	if !strings.Contains(m.Summary(), "no samples") {
+		t.Fatal("pre-sample summary wrong")
+	}
+	eng.RunUntil(6)
+	m.Stop()
+	eng.Run()
+	if !strings.Contains(m.Summary(), "cluster avg load") {
+		t.Fatalf("summary = %q", m.Summary())
+	}
+}

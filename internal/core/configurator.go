@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mrconf"
+)
+
+// DynamicConfigurator implements the paper's Table 1 API: querying the
+// configurable parameter set and setting job-wide or per-task
+// parameter values. The tuner writes new configurations through it;
+// the application master reads the effective configuration for each
+// task as it launches (the "slave configurator picks up the changed
+// configuration files" path of §4).
+type DynamicConfigurator struct {
+	jobs map[string]*jobConfigs
+}
+
+type jobConfigs struct {
+	job   map[string]float64
+	tasks map[string]map[string]float64
+}
+
+// NewDynamicConfigurator returns an empty configurator.
+func NewDynamicConfigurator() *DynamicConfigurator {
+	return &DynamicConfigurator{jobs: make(map[string]*jobConfigs)}
+}
+
+func (d *DynamicConfigurator) jobEntry(jobID string) *jobConfigs {
+	e, ok := d.jobs[jobID]
+	if !ok {
+		e = &jobConfigs{job: make(map[string]float64), tasks: make(map[string]map[string]float64)}
+		d.jobs[jobID] = e
+	}
+	return e
+}
+
+// GetConfigurableJobParameters returns the parameters that can still
+// be changed for the job's current and future tasks (categories 2 and
+// 3 of §2.2), sorted for stable output.
+func (d *DynamicConfigurator) GetConfigurableJobParameters(jobID string) []string {
+	var names []string
+	for _, p := range mrconf.Params() {
+		if p.Category == mrconf.CategoryTaskLaunch || p.Category == mrconf.CategoryLive {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GetConfigurableTaskParameters returns the parameters applicable to
+// one task: its scope's parameters (a map task is not affected by
+// reduce buffers).
+func (d *DynamicConfigurator) GetConfigurableTaskParameters(jobID, taskID string) []string {
+	scope := mrconf.ScopeMap
+	if len(taskID) > 0 && taskID[0] == 'r' {
+		scope = mrconf.ScopeReduce
+	}
+	var names []string
+	for _, p := range mrconf.ParamsByScope(scope) {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetJobParameters sets job-wide parameter values, returning the
+// number of parameters applied (unknown names are rejected wholesale,
+// mirroring the int status code of the paper's API).
+func (d *DynamicConfigurator) SetJobParameters(jobID string, kv map[string]float64) int {
+	for name := range kv {
+		if _, ok := mrconf.Lookup(name); !ok {
+			return -1
+		}
+	}
+	e := d.jobEntry(jobID)
+	for name, v := range kv {
+		e.job[name] = v
+	}
+	return len(kv)
+}
+
+// SetTaskParameters sets parameters for one task.
+func (d *DynamicConfigurator) SetTaskParameters(jobID, taskID string, kv map[string]float64) int {
+	for name := range kv {
+		if _, ok := mrconf.Lookup(name); !ok {
+			return -1
+		}
+	}
+	e := d.jobEntry(jobID)
+	tk, ok := e.tasks[taskID]
+	if !ok {
+		tk = make(map[string]float64)
+		e.tasks[taskID] = tk
+	}
+	for name, v := range kv {
+		tk[name] = v
+	}
+	return len(kv)
+}
+
+// SetAllTaskParameters sets parameters for every task of the job
+// (clearing conflicting per-task overrides so the job-wide value
+// wins, as the paper's setTaskParameters(jid, kv) overload does).
+func (d *DynamicConfigurator) SetAllTaskParameters(jobID string, kv map[string]float64) int {
+	n := d.SetJobParameters(jobID, kv)
+	if n < 0 {
+		return n
+	}
+	e := d.jobEntry(jobID)
+	for _, tk := range e.tasks {
+		for name := range kv {
+			delete(tk, name)
+		}
+	}
+	return n
+}
+
+// ClearTask removes per-task overrides (after the task has launched
+// with them).
+func (d *DynamicConfigurator) ClearTask(jobID, taskID string) {
+	if e, ok := d.jobs[jobID]; ok {
+		delete(e.tasks, taskID)
+	}
+}
+
+// ConfigFor resolves the effective configuration for a task: base,
+// then job-wide overrides, then per-task overrides.
+func (d *DynamicConfigurator) ConfigFor(jobID, taskID string, base mrconf.Config) mrconf.Config {
+	e, ok := d.jobs[jobID]
+	if !ok {
+		return base
+	}
+	cfg := base
+	for name, v := range e.job {
+		cfg = cfg.With(name, v)
+	}
+	if tk, ok := e.tasks[taskID]; ok {
+		for name, v := range tk {
+			cfg = cfg.With(name, v)
+		}
+	}
+	return cfg
+}
+
+// TaskID renders the canonical task identifier used by the
+// configurator ("m-00042" / "r-00007").
+func TaskID(isMap bool, id int) string {
+	if isMap {
+		return fmt.Sprintf("m-%05d", id)
+	}
+	return fmt.Sprintf("r-%05d", id)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mapreduce"
+	"repro/internal/mrconf"
+)
+
+// Explain renders what the tuner learned and why its recommendation
+// looks the way it does — the human-facing half of the paper's
+// "performance advisor" (Figs 1 and 3). It is purely observational:
+// calling it does not change tuner state.
+func (t *Tuner) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MRONLINE %s tuning for %q\n", t.Strategy, t.jobName)
+
+	mon := t.mon
+	fmt.Fprintf(&b, "observed: %d map / %d reduce task completions\n",
+		mon.Completed(mapreduce.MapTask), mon.Completed(mapreduce.ReduceTask))
+
+	if raw, ok := mon.EstMapRawOutputMB(); ok {
+		comb, _ := mon.EstMapOutputMB()
+		fmt.Fprintf(&b, "map output:   %.0f MB/task raw, %.0f MB/task after combiner\n", raw, comb)
+		fmt.Fprintf(&b, "  -> io.sort.mb must hold ~%.0f MB for a single spill\n", raw*1.05)
+	}
+	if in, ok := mon.EstReduceInputMB(); ok {
+		fmt.Fprintf(&b, "reduce input: %.0f MB/task estimated\n", in)
+		fmt.Fprintf(&b, "  -> shuffle buffer sized to retain it in memory when the heap allows\n")
+	}
+	if n := mon.Completed(mapreduce.MapTask); n > 0 {
+		fmt.Fprintf(&b, "map utilization:    mem %.0f%%, cpu %.0f%% (spill ratio %.2fx)\n",
+			100*mon.MeanMemUtil(mapreduce.MapTask), 100*mon.MeanCPUUtil(mapreduce.MapTask),
+			mon.MeanSpillRatio(mapreduce.MapTask))
+	}
+	if n := mon.Completed(mapreduce.ReduceTask); n > 0 {
+		fmt.Fprintf(&b, "reduce utilization: mem %.0f%%, cpu %.0f%% (spill ratio %.2fx)\n",
+			100*mon.MeanMemUtil(mapreduce.ReduceTask), 100*mon.MeanCPUUtil(mapreduce.ReduceTask),
+			mon.MeanSpillRatio(mapreduce.ReduceTask))
+	}
+
+	if t.Strategy == Aggressive {
+		fmt.Fprintf(&b, "search: map scope %s (%d waves), reduce scope %s (%d waves)\n",
+			searchStateString(t.mapSearch), t.mapWaves,
+			searchStateString(t.reduceSearch), t.redWaves)
+		for name, s := range map[string]*hillClimb{"map": t.mapSearch, "reduce": t.reduceSearch} {
+			if _, cost, ok := s.Best(); ok {
+				fmt.Fprintf(&b, "  best %s-scope point: Eq.1 cost %.3f\n", name, cost)
+			}
+		}
+	}
+
+	best := t.BestConfig()
+	fmt.Fprintf(&b, "recommended configuration:\n")
+	overrides := best.Overrides()
+	if len(overrides) == 0 {
+		fmt.Fprintf(&b, "  (defaults — not enough observations to improve on them)\n")
+	}
+	for _, p := range mrconf.Params() {
+		if v, ok := overrides[p.Name]; ok {
+			fmt.Fprintf(&b, "  %-52s %g (default %g)\n", p.Name, v, p.Default)
+		}
+	}
+	return b.String()
+}
+
+func searchStateString(h *hillClimb) string {
+	if h == nil {
+		return "off"
+	}
+	if h.Done() {
+		return "converged"
+	}
+	return fmt.Sprintf("in %s phase", h.phase)
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/yarn"
+)
+
+// Hot-spot avoidance (paper §1: "MRONLINE considers dynamic cluster
+// utilization information to help MapReduce applications avoid hot
+// spots"). The monitor's node-level utilization feed becomes a
+// placement veto: containers prefer nodes whose disk and CPU are not
+// saturated by other tenants or background services.
+
+// HotSpotThresholds configure when a node counts as hot.
+type HotSpotThresholds struct {
+	// CPULoad and DiskLoad are instantaneous-load fractions above
+	// which a node is avoided.
+	CPULoad  float64
+	DiskLoad float64
+}
+
+// DefaultHotSpotThresholds avoid nodes with ≥85% busy disk or CPU.
+func DefaultHotSpotThresholds() HotSpotThresholds {
+	return HotSpotThresholds{CPULoad: 0.85, DiskLoad: 0.85}
+}
+
+// HotSpotFilter returns a yarn node filter implementing the policy.
+func HotSpotFilter(th HotSpotThresholds) func(*cluster.Node) bool {
+	return func(n *cluster.Node) bool {
+		return n.CPULoad() < th.CPULoad && n.DiskLoad() < th.DiskLoad
+	}
+}
+
+// EnableHotSpotAvoidance installs the default policy on a resource
+// manager. Returns the filter so tests can probe it.
+func EnableHotSpotAvoidance(rm *yarn.ResourceManager) func(*cluster.Node) bool {
+	f := HotSpotFilter(DefaultHotSpotThresholds())
+	rm.NodeFilter = f
+	return f
+}

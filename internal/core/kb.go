@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/mrconf"
+)
+
+// KnowledgeBase stores tuned configurations across application runs
+// (the "tuning knowledge base" of Fig 3), keyed by benchmark identity
+// and input scale. An expedited test run deposits its best
+// configuration here; later production runs look it up. Alongside the
+// category-2/3 configuration it can hold category-1 recommendations
+// (reducer count, slowstart) produced by what-if analysis.
+type KnowledgeBase struct {
+	entries map[string]mrconf.Config
+	statics map[string]StaticParams
+}
+
+// StaticParams are category-1 recommendations that must be applied at
+// submission time (paper §2.2: they cannot change once a job starts).
+type StaticParams struct {
+	NumReduces int     `json:"num_reduces"`
+	Slowstart  float64 `json:"slowstart"`
+}
+
+// NewKnowledgeBase returns an empty knowledge base.
+func NewKnowledgeBase() *KnowledgeBase {
+	return &KnowledgeBase{
+		entries: make(map[string]mrconf.Config),
+		statics: make(map[string]StaticParams),
+	}
+}
+
+// Key builds the lookup key: the optimal configuration depends on the
+// application, the data scale, and the cluster (paper §1), so all
+// three identify an entry. Sizes are bucketed by power of two so
+// near-identical inputs share a tuning.
+func Key(app string, inputSizeMB float64, clusterName string) string {
+	bucket := 0
+	for s := 1.0; s < inputSizeMB; s *= 2 {
+		bucket++
+	}
+	return fmt.Sprintf("%s|%s|2^%dMB", app, clusterName, bucket)
+}
+
+// Put stores a configuration.
+func (kb *KnowledgeBase) Put(key string, cfg mrconf.Config) { kb.entries[key] = cfg }
+
+// Get retrieves a configuration.
+func (kb *KnowledgeBase) Get(key string) (mrconf.Config, bool) {
+	cfg, ok := kb.entries[key]
+	return cfg, ok
+}
+
+// Keys lists stored keys in sorted order.
+func (kb *KnowledgeBase) Keys() []string {
+	out := make([]string, 0, len(kb.entries))
+	for k := range kb.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored configuration entries.
+func (kb *KnowledgeBase) Len() int { return len(kb.entries) }
+
+// PutStatic stores category-1 recommendations for a key.
+func (kb *KnowledgeBase) PutStatic(key string, p StaticParams) { kb.statics[key] = p }
+
+// GetStatic retrieves category-1 recommendations.
+func (kb *KnowledgeBase) GetStatic(key string) (StaticParams, bool) {
+	p, ok := kb.statics[key]
+	return p, ok
+}
+
+// kbDocument is the on-disk format.
+type kbDocument struct {
+	Configs map[string]mrconf.Config `json:"configs"`
+	Statics map[string]StaticParams  `json:"statics,omitempty"`
+}
+
+// Save writes the knowledge base as JSON.
+func (kb *KnowledgeBase) Save(path string) error {
+	doc := kbDocument{Configs: kb.entries, Statics: kb.statics}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal knowledge base: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: save knowledge base: %w", err)
+	}
+	return nil
+}
+
+// Load reads a knowledge base written by Save. The legacy flat format
+// (a bare map of key → config) is still accepted.
+func Load(path string) (*KnowledgeBase, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load knowledge base: %w", err)
+	}
+	kb := NewKnowledgeBase()
+	var doc kbDocument
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Configs != nil {
+		for k, v := range doc.Configs {
+			kb.entries[k] = v
+		}
+		for k, v := range doc.Statics {
+			kb.statics[k] = v
+		}
+		return kb, nil
+	}
+	var flat map[string]mrconf.Config
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return nil, fmt.Errorf("core: parse knowledge base: %w", err)
+	}
+	for k, v := range flat {
+		kb.entries[k] = v
+	}
+	return kb, nil
+}

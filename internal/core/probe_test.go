@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mrconf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// runJob executes one job on a fresh paper cluster.
+func runJob(t *testing.T, b workload.Benchmark, cfg mrconf.Config, ctrl mapreduce.Controller) mapreduce.Result {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.MaxEvents = 50_000_000
+	c := cluster.New(eng, cluster.PaperConfig())
+	rm := yarn.NewResourceManager(eng, c, yarn.FIFOScheduler{})
+	fs := hdfs.New(c, sim.NewSource(42).Stream("hdfs"))
+	var res mapreduce.Result
+	got := false
+	mapreduce.Submit(rm, fs, mapreduce.Spec{Benchmark: b, BaseConfig: cfg, Controller: ctrl},
+		func(r mapreduce.Result) { res = r; got = true })
+	eng.Run()
+	if !got {
+		t.Fatalf("job did not complete")
+	}
+	return res
+}
+
+func TestProbeTunerEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	b := workload.Terasort(100, 752, 200)
+
+	def := runJob(t, b, mrconf.Default(), nil)
+	t.Logf("default:      dur=%6.0fs spills=%.2e\n", def.Duration, def.Counters.SpilledRecords())
+
+	// Expedited: aggressive test run, then re-run with the best config.
+	tuner := NewTuner(b.Name, b.NumMaps, b.NumReduces, mrconf.Default(), TunerOptions{Strategy: Aggressive, Seed: 7})
+	test := runJob(t, b, mrconf.Default(), tuner)
+	t.Logf("test run:     dur=%6.0fs searchDone=%v mapWaves=%d redWaves=%d failed=%v\n",
+		test.Duration, tuner.SearchDone(), tuner.mapWaves, tuner.redWaves, test.Failed)
+	best := tuner.BestConfig()
+	t.Logf("best config:  %s\n", best)
+	tuned := runJob(t, b, best, nil)
+	t.Logf("tuned run:    dur=%6.0fs spills=%.2e (%.0f%% vs default)\n",
+		tuned.Duration, tuned.Counters.SpilledRecords(), 100*(def.Duration-tuned.Duration)/def.Duration)
+
+	// Fast single run: conservative tuning inline.
+	cons := NewTuner(b.Name, b.NumMaps, b.NumReduces, mrconf.Default(), TunerOptions{Strategy: Conservative, Seed: 7})
+	fast := runJob(t, b, mrconf.Default(), cons)
+	t.Logf("conservative: dur=%6.0fs spills=%.2e (%.0f%% vs default) failed=%v\n",
+		fast.Duration, fast.Counters.SpilledRecords(), 100*(def.Duration-fast.Duration)/def.Duration, fast.Failed)
+	t.Logf("cons util: mapMem=%.2f redMem=%.2f mapCPU=%.2f\n", fast.MapMemUtil, fast.ReduceMemUtil, fast.MapCPUUtil)
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mrconf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+func newServiceRig(t *testing.T, opts ServiceOptions) (*sim.Engine, *Service) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c := cluster.New(eng, cluster.PaperConfig())
+	rm := yarn.NewResourceManager(eng, c, yarn.FairScheduler{})
+	fs := hdfs.New(c, sim.NewSource(9).Stream("hdfs"))
+	return eng, NewService(rm, fs, opts)
+}
+
+func TestServiceConservativeByDefault(t *testing.T) {
+	eng, svc := newServiceRig(t, ServiceOptions{})
+	b := workload.Terasort(10, 0, 0)
+	var res mapreduce.Result
+	svc.Submit(mapreduce.Spec{Name: "job1", Benchmark: b, BaseConfig: mrconf.Default()},
+		func(r mapreduce.Result) { res = r })
+	eng.Run()
+	if res.Failed {
+		t.Fatal(res.Err)
+	}
+	// Conservative runs do not populate the knowledge base.
+	if svc.KnowledgeBase().Len() != 0 {
+		t.Fatal("conservative service stored a KB entry")
+	}
+}
+
+func TestServiceAggressiveStoresAndReuses(t *testing.T) {
+	eng, svc := newServiceRig(t, ServiceOptions{Strategy: Aggressive, ClusterName: "c1", Seed: 7})
+	b := workload.Terasort(20, 0, 0)
+
+	var first mapreduce.Result
+	svc.Submit(mapreduce.Spec{Name: "run1", Benchmark: b, BaseConfig: mrconf.Default()},
+		func(r mapreduce.Result) { first = r })
+	eng.Run()
+	if first.Failed {
+		t.Fatal(first.Err)
+	}
+	if svc.KnowledgeBase().Len() != 1 {
+		t.Fatalf("KB entries = %d, want 1 after aggressive run", svc.KnowledgeBase().Len())
+	}
+
+	// Second submission of the same app+size: must start from the KB
+	// config (observable through the reports' configs) and be faster
+	// than the instrumented first run.
+	var second mapreduce.Result
+	svc.Submit(mapreduce.Spec{Name: "run2", Benchmark: b, BaseConfig: mrconf.Default()},
+		func(r mapreduce.Result) { second = r })
+	eng.Run()
+	if second.Failed {
+		t.Fatal(second.Err)
+	}
+	if second.Duration >= first.Duration {
+		t.Fatalf("KB-configured run (%.0fs) not faster than the test run (%.0fs)",
+			second.Duration, first.Duration)
+	}
+	kbCfg, _ := svc.KnowledgeBase().Get(Key(b.Name, b.InputSizeMB, "c1"))
+	for _, rep := range second.Reports {
+		if rep.Type == mapreduce.MapTask && rep.Config.SortMB() != kbCfg.SortMB() {
+			t.Fatalf("second run ignored the KB config: %v vs %v", rep.Config.SortMB(), kbCfg.SortMB())
+		}
+	}
+}
+
+func TestServicePreservesCallerController(t *testing.T) {
+	eng, svc := newServiceRig(t, ServiceOptions{})
+	b := workload.Terasort(2, 0, 0)
+	custom := &countingController{}
+	svc.Submit(mapreduce.Spec{Name: "job", Benchmark: b, BaseConfig: mrconf.Default(), Controller: custom},
+		func(mapreduce.Result) {})
+	eng.Run()
+	if custom.calls == 0 {
+		t.Fatal("service replaced the caller's controller")
+	}
+}
+
+type countingController struct {
+	mapreduce.PassthroughController
+	calls int
+}
+
+func (c *countingController) TaskConfig(t *mapreduce.Task, base mrconf.Config) mrconf.Config {
+	c.calls++
+	return base
+}
+
+func TestServiceDistinctAppsDistinctEntries(t *testing.T) {
+	eng, svc := newServiceRig(t, ServiceOptions{Strategy: Aggressive, Seed: 3})
+	done := 0
+	svc.Submit(mapreduce.Spec{Name: "a", Benchmark: workload.Terasort(10, 0, 0), BaseConfig: mrconf.Default()},
+		func(mapreduce.Result) { done++ })
+	eng.Run()
+	svc.Submit(mapreduce.Spec{Name: "b", Benchmark: workload.Terasort(60, 0, 0), BaseConfig: mrconf.Default()},
+		func(mapreduce.Result) { done++ })
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("completions = %d", done)
+	}
+	// Different input scales land in different power-of-two buckets.
+	if svc.KnowledgeBase().Len() != 2 {
+		t.Fatalf("KB entries = %d, want 2 (size buckets differ)", svc.KnowledgeBase().Len())
+	}
+}
+
+func TestServiceTunesStaticParams(t *testing.T) {
+	eng, svc := newServiceRig(t, ServiceOptions{Strategy: Aggressive, Seed: 7, TuneStaticParams: true})
+	b := workload.Terasort(20, 0, 0) // 150 maps, 37 reduces
+	var first mapreduce.Result
+	svc.Submit(mapreduce.Spec{Name: "r1", Benchmark: b, BaseConfig: mrconf.Default()},
+		func(r mapreduce.Result) { first = r })
+	eng.Run()
+	if first.Failed {
+		t.Fatal(first.Err)
+	}
+	key := Key(b.Name, b.InputSizeMB, svc.ClusterName)
+	p, ok := svc.KnowledgeBase().GetStatic(key)
+	if !ok {
+		t.Fatal("no static recommendation stored")
+	}
+	if p.NumReduces <= 0 || p.Slowstart <= 0 {
+		t.Fatalf("bad static recommendation: %+v", p)
+	}
+	// The second submission runs with the recommended reducer count.
+	var second mapreduce.Result
+	j := svc.Submit(mapreduce.Spec{Name: "r2", Benchmark: b, BaseConfig: mrconf.Default()},
+		func(r mapreduce.Result) { second = r })
+	if len(j.ReduceTasks()) != p.NumReduces {
+		t.Fatalf("second run has %d reducers, recommendation was %d",
+			len(j.ReduceTasks()), p.NumReduces)
+	}
+	eng.Run()
+	if second.Failed {
+		t.Fatal(second.Err)
+	}
+}
+
+func TestKnowledgeBaseStaticsRoundTrip(t *testing.T) {
+	kb := NewKnowledgeBase()
+	kb.Put("k", mrconf.Default().With(mrconf.IOSortMB, 200))
+	kb.PutStatic("k", StaticParams{NumReduces: 75, Slowstart: 0.5})
+	path := t.TempDir() + "/kb.json"
+	if err := kb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := back.GetStatic("k")
+	if !ok || p.NumReduces != 75 || p.Slowstart != 0.5 {
+		t.Fatalf("statics lost in round trip: %+v ok=%v", p, ok)
+	}
+	if _, ok := back.Get("k"); !ok {
+		t.Fatal("config lost in round trip")
+	}
+}
+
+func TestKnowledgeBaseLegacyFormat(t *testing.T) {
+	// The original flat format (key -> config) must still load.
+	path := t.TempDir() + "/legacy.json"
+	legacy := `{"k": {"mapreduce.task.io.sort.mb": 400}}`
+	if err := osWriteFile(path, legacy); err != nil {
+		t.Fatal(err)
+	}
+	kb, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := kb.Get("k")
+	if !ok || cfg.SortMB() != 400 {
+		t.Fatalf("legacy entry lost: ok=%v cfg=%s", ok, cfg)
+	}
+}
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestKBKeysSeparateClusters(t *testing.T) {
+	// A configuration tuned on one cluster must not be applied on a
+	// differently-named one: the key includes the cluster identity.
+	kb := NewKnowledgeBase()
+	eng1, svc1 := newServiceRig(t, ServiceOptions{Strategy: Aggressive, Seed: 3,
+		ClusterName: "homogeneous", KnowledgeBase: kb})
+	b := workload.Terasort(10, 0, 0)
+	svc1.Submit(mapreduce.Spec{Name: "x", Benchmark: b, BaseConfig: mrconf.Default()}, nil)
+	eng1.Run()
+	if kb.Len() != 1 {
+		t.Fatalf("KB entries = %d", kb.Len())
+	}
+	if _, ok := kb.Get(Key(b.Name, b.InputSizeMB, "heterogeneous")); ok {
+		t.Fatal("cross-cluster KB hit")
+	}
+	if _, ok := kb.Get(Key(b.Name, b.InputSizeMB, "homogeneous")); !ok {
+		t.Fatal("same-cluster KB miss")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSurveyAll prints the full paper-vs-measured picture. It is the
+// calibration harness used while developing; run with
+//
+//	go test ./internal/experiments -run SurveyAll -v
+func TestSurveyAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey in -short mode")
+	}
+	e := DefaultEnv()
+
+	fmt.Println("== Figs 4-6 / 7-9 (expedited) ==")
+	for _, rows := range [][]ExpeditedRow{e.Fig4(), e.Fig5(), e.Fig6()} {
+		for _, r := range rows {
+			fmt.Printf("%-28s def=%6.0fs off=%6.0fs mro=%6.0fs test=%6.0fs imp=%4.0f%% | spills opt=%.2e def=%.2e off=%.2e mro=%.2e\n",
+				r.Bench, r.DefaultDur, r.OfflineDur, r.MronlineDur, r.TestRunDur, 100*r.Improvement(),
+				r.OptimalSpills, r.DefaultSpills, r.OfflineSpills, r.MronlineSpills)
+		}
+	}
+
+	fmt.Println("== Figs 10-12 (fast single run) ==")
+	for _, rows := range [][]SingleRunRow{e.Fig10(), e.Fig11(), e.Fig12()} {
+		for _, r := range rows {
+			fmt.Printf("%-28s def=%6.0fs mro=%6.0fs imp=%4.0f%%\n",
+				r.Bench, r.DefaultDur, r.MronlineDur, 100*r.Improvement())
+		}
+	}
+
+	fmt.Println("== Fig 13 (job size) ==")
+	for _, r := range e.Fig13() {
+		fmt.Printf("%3dGB maps=%3d red=%3d def=%6.0fs mro=%6.0fs imp=%4.0f%%\n",
+			r.SizeGB, r.Maps, r.Reduces, r.DefaultDur, r.MronlineDur, 100*r.Improvement())
+	}
+
+	fmt.Println("== Figs 14-16 (multi-tenant) ==")
+	mt := e.MultiTenant()
+	fmt.Printf("terasort: def=%6.0fs mro=%6.0fs imp=%4.0f%%\n",
+		mt.Default.Terasort.Duration, mt.Mronline.Terasort.Duration,
+		100*(mt.Default.Terasort.Duration-mt.Mronline.Terasort.Duration)/mt.Default.Terasort.Duration)
+	fmt.Printf("bbp:      def=%6.0fs mro=%6.0fs imp=%4.0f%%\n",
+		mt.Default.BBP.Duration, mt.Mronline.BBP.Duration,
+		100*(mt.Default.BBP.Duration-mt.Mronline.BBP.Duration)/mt.Default.BBP.Duration)
+	fmt.Printf("mem util: ts-m %0.2f->%0.2f ts-r %0.2f->%0.2f bbp-m %0.2f->%0.2f bbp-r %0.2f->%0.2f\n",
+		mt.Default.Terasort.MapMemUtil, mt.Mronline.Terasort.MapMemUtil,
+		mt.Default.Terasort.ReduceMemUtil, mt.Mronline.Terasort.ReduceMemUtil,
+		mt.Default.BBP.MapMemUtil, mt.Mronline.BBP.MapMemUtil,
+		mt.Default.BBP.ReduceMemUtil, mt.Mronline.BBP.ReduceMemUtil)
+	fmt.Printf("cpu util: ts-m %0.2f->%0.2f ts-r %0.2f->%0.2f bbp-m %0.2f->%0.2f bbp-r %0.2f->%0.2f\n",
+		mt.Default.Terasort.MapCPUUtil, mt.Mronline.Terasort.MapCPUUtil,
+		mt.Default.Terasort.ReduceCPUUtil, mt.Mronline.Terasort.ReduceCPUUtil,
+		mt.Default.BBP.MapCPUUtil, mt.Mronline.BBP.MapCPUUtil,
+		mt.Default.BBP.ReduceCPUUtil, mt.Mronline.BBP.ReduceCPUUtil)
+	fmt.Printf("ts spills: def=%.2e mro=%.2e\n",
+		mt.Default.Terasort.Counters.SpilledRecords(), mt.Mronline.Terasort.Counters.SpilledRecords())
+}

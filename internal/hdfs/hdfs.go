@@ -1,0 +1,272 @@
+// Package hdfs models the distributed file system under the MapReduce
+// substrate: block placement with rack-aware replication, locality
+// classification for the scheduler, and read/write data paths that
+// exercise the cluster's disk and network channels.
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+)
+
+// Locality classifies a reader's distance from a block replica.
+type Locality int
+
+const (
+	NodeLocal Locality = iota
+	RackLocal
+	OffRack
+)
+
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	default:
+		return "off-rack"
+	}
+}
+
+// Block is one HDFS block with its replica locations.
+type Block struct {
+	ID       int
+	SizeMB   float64
+	Replicas []*cluster.Node
+}
+
+// File is a sequence of blocks.
+type File struct {
+	Name   string
+	SizeMB float64
+	Blocks []*Block
+}
+
+// FileSystem is the namenode + datanode ensemble.
+type FileSystem struct {
+	BlockSizeMB float64
+	Replication int
+	// HotThreshold, when positive, enables load-aware replica
+	// selection: reads prefer replicas whose disk load is below the
+	// threshold and writes prefer cold targets (HDFS's slow-datanode
+	// avoidance, used by MRONLINE's hot-spot policy).
+	HotThreshold float64
+
+	c       *cluster.Cluster
+	rng     *rand.Rand
+	nextID  int
+	writeAt int // round-robin cursor for first-replica placement
+}
+
+// New returns a file system over the cluster with the paper's layout:
+// 128 MB blocks, 3-way replication (capped by cluster size).
+func New(c *cluster.Cluster, rng *rand.Rand) *FileSystem {
+	repl := 3
+	if len(c.Nodes) < repl {
+		repl = len(c.Nodes)
+	}
+	return &FileSystem{BlockSizeMB: 128, Replication: repl, c: c, rng: rng}
+}
+
+// Create places a file of sizeMB across the cluster using the HDFS
+// default placement policy: first replica on a round-robin "writer"
+// node, second on a different rack, third on the second's rack.
+func (fs *FileSystem) Create(name string, sizeMB float64) *File {
+	return fs.CreateWithBlockSize(name, sizeMB, fs.BlockSizeMB)
+}
+
+// CreateWithBlockSize is Create with a per-file block size, used to
+// model jobs whose input-split size differs from the filesystem
+// default (the paper's corpora use ~137 MB splits).
+func (fs *FileSystem) CreateWithBlockSize(name string, sizeMB, blockMB float64) *File {
+	if sizeMB < 0 {
+		panic(fmt.Sprintf("hdfs: negative file size %v", sizeMB))
+	}
+	if blockMB <= 0 {
+		panic(fmt.Sprintf("hdfs: non-positive block size %v", blockMB))
+	}
+	f := &File{Name: name, SizeMB: sizeMB}
+	remaining := sizeMB
+	for remaining > 1e-9 {
+		size := blockMB
+		if remaining < size {
+			size = remaining
+		}
+		writer := fs.c.Nodes[fs.writeAt%len(fs.c.Nodes)]
+		fs.writeAt++
+		b := &Block{ID: fs.nextID, SizeMB: size, Replicas: fs.placeReplicas(writer)}
+		fs.nextID++
+		f.Blocks = append(f.Blocks, b)
+		remaining -= size
+	}
+	return f
+}
+
+func (fs *FileSystem) placeReplicas(first *cluster.Node) []*cluster.Node {
+	replicas := []*cluster.Node{first}
+	if fs.Replication >= 2 {
+		if second := fs.randomNode(func(n *cluster.Node) bool {
+			return n.Rack != first.Rack
+		}); second != nil {
+			replicas = append(replicas, second)
+			if fs.Replication >= 3 {
+				if third := fs.randomNode(func(n *cluster.Node) bool {
+					return n.Rack == second.Rack && n != second && n != first
+				}); third != nil {
+					replicas = append(replicas, third)
+				}
+			}
+		} else if fs.Replication >= 2 {
+			// Single-rack cluster: fall back to any other node.
+			if second := fs.randomNode(func(n *cluster.Node) bool { return n != first }); second != nil {
+				replicas = append(replicas, second)
+			}
+		}
+	}
+	return replicas
+}
+
+func (fs *FileSystem) randomNode(ok func(*cluster.Node) bool) *cluster.Node {
+	var candidates, cold []*cluster.Node
+	for _, n := range fs.c.Nodes {
+		if ok(n) {
+			candidates = append(candidates, n)
+			if !fs.hot(n) {
+				cold = append(cold, n)
+			}
+		}
+	}
+	if len(cold) > 0 {
+		candidates = cold
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[fs.rng.Intn(len(candidates))]
+}
+
+// hot reports whether load-aware selection should avoid the node.
+func (fs *FileSystem) hot(n *cluster.Node) bool {
+	return fs.HotThreshold > 0 && n.DiskLoad() >= fs.HotThreshold
+}
+
+// Locality returns the best locality the reader has to any replica.
+func (fs *FileSystem) Locality(b *Block, reader *cluster.Node) Locality {
+	best := OffRack
+	for _, r := range b.Replicas {
+		switch {
+		case r == reader:
+			return NodeLocal
+		case r.Rack == reader.Rack:
+			best = RackLocal
+		}
+	}
+	return best
+}
+
+// HasReplicaOn reports whether node holds a replica of b.
+func (b *Block) HasReplicaOn(node *cluster.Node) bool {
+	for _, r := range b.Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Read streams block b to the reader node: a local disk read when a
+// replica is node-local, otherwise a pipelined remote read (source
+// disk read in parallel with the network transfer; completion when
+// both finish, approximating the streaming bottleneck). The returned
+// flows let the caller cancel an in-flight read (speculative-attempt
+// kills).
+func (fs *FileSystem) Read(b *Block, reader *cluster.Node, done func()) []*cluster.Flow {
+	if b.HasReplicaOn(reader) {
+		return []*cluster.Flow{reader.DiskRead(b.SizeMB, done)}
+	}
+	src := fs.closestReplica(b, reader)
+	remaining := 2
+	child := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	return []*cluster.Flow{
+		src.DiskRead(b.SizeMB, child),
+		fs.c.Transfer(src, reader, b.SizeMB, child),
+	}
+}
+
+func (fs *FileSystem) closestReplica(b *Block, reader *cluster.Node) *cluster.Node {
+	var rackLocal, rackLocalCold, cold *cluster.Node
+	for _, r := range b.Replicas {
+		if !fs.hot(r) && cold == nil {
+			cold = r
+		}
+		if r.Rack == reader.Rack {
+			if rackLocal == nil {
+				rackLocal = r
+			}
+			if !fs.hot(r) && rackLocalCold == nil {
+				rackLocalCold = r
+			}
+		}
+	}
+	switch {
+	case rackLocalCold != nil:
+		return rackLocalCold
+	case cold != nil:
+		return cold
+	case rackLocal != nil:
+		return rackLocal
+	}
+	return b.Replicas[fs.rng.Intn(len(b.Replicas))]
+}
+
+// Write stores sizeMB of new data originating at node, running the
+// replica pipeline: a local disk write plus, per extra replica, a
+// network transfer and remote disk write, all in parallel (HDFS
+// pipelines chunks through the replica chain). done fires when every
+// replica is durable. It returns the replica nodes chosen and the
+// in-flight flows (for cancellation).
+func (fs *FileSystem) Write(node *cluster.Node, sizeMB float64, done func()) ([]*cluster.Node, []*cluster.Flow) {
+	replicas := fs.placeReplicas(node)
+	remaining := 0
+	child := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	// Count the flows first so an early completion cannot fire done
+	// prematurely.
+	count := 0
+	for i := range replicas {
+		count++ // disk write at each replica
+		if i > 0 {
+			count++ // transfer from previous pipeline stage
+		}
+	}
+	remaining = count
+	if sizeMB == 0 {
+		// Still asynchronous: model a metadata-only commit.
+		fs.c.Eng.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return replicas, nil
+	}
+	flows := make([]*cluster.Flow, 0, count)
+	for i, r := range replicas {
+		flows = append(flows, r.DiskWrite(sizeMB, child))
+		if i > 0 {
+			flows = append(flows, fs.c.Transfer(replicas[i-1], r, sizeMB, child))
+		}
+	}
+	return replicas, flows
+}

@@ -1,0 +1,467 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mrconf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// Job is a running MapReduce job: the application-master logic plus
+// all task state. Create one with Submit.
+type Job struct {
+	Name string
+
+	spec  Spec
+	bench workload.Benchmark
+	eng   *sim.Engine
+	rm    *yarn.ResourceManager
+	fs    *hdfs.FileSystem
+	app   *yarn.App
+	ctrl  Controller
+
+	inputFile   *hdfs.File
+	mapTasks    []*Task
+	reduceTasks []*Task
+	// reduceShare is each reducer's fraction of the shuffle volume
+	// (skewed partition sizes, normalized to sum 1).
+	reduceShare []float64
+
+	nextMapReq    int
+	nextReduceReq int
+	// reduceMemHeld tracks memory committed to reduce containers while
+	// maps are still pending, for the anti-deadlock headroom policy.
+	reduceMemHeld float64
+
+	completedMaps    int
+	completedReduces int
+	totalMapOutMB    float64
+
+	activeReducers []*reduceRun
+
+	liveShadows int
+
+	counters  Counters
+	reports   []TaskReport
+	startTime float64
+	finished  bool
+	failed    bool
+	failErr   error
+	onDone    func(Result)
+}
+
+// ReduceHeadroomFraction caps reduce-container memory at this share of
+// cluster container memory while map tasks are still incomplete,
+// preventing the classic slowstart deadlock where reducers occupy
+// every container and starve the maps they are waiting on.
+const ReduceHeadroomFraction = 0.5
+
+// Submit creates the job's input file in HDFS, registers the
+// application with the resource manager, and starts scheduling. onDone
+// fires (once) when the job completes or fails.
+func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone func(Result)) *Job {
+	s := spec.withDefaults()
+	j := &Job{
+		Name:      s.Name,
+		spec:      s,
+		bench:     s.Benchmark,
+		eng:       rm.Engine(),
+		rm:        rm,
+		fs:        fs,
+		ctrl:      s.Controller,
+		startTime: rm.Engine().Now(),
+		onDone:    onDone,
+	}
+	j.app = rm.Submit(s.Name, s.Weight)
+
+	src := sim.NewSource(uint64(len(s.Name))*1e9 + uint64(s.Benchmark.NumMaps)).Sub("job:" + s.Name)
+	if s.Benchmark.InputSizeMB > 0 {
+		j.inputFile = fs.CreateWithBlockSize(s.Name+"/input", s.Benchmark.InputSizeMB, s.Benchmark.SplitSizeMB())
+	}
+	skews := s.Benchmark.Splits(src.Stream("map-skew"))
+	for i := 0; i < s.Benchmark.NumMaps; i++ {
+		t := &Task{Job: j, Type: MapTask, ID: i, Skew: skews[i]}
+		if j.inputFile != nil && i < len(j.inputFile.Blocks) {
+			t.Split = j.inputFile.Blocks[i]
+		}
+		j.mapTasks = append(j.mapTasks, t)
+	}
+	rrng := src.Stream("reduce-skew")
+	shares := make([]float64, s.Benchmark.NumReduces)
+	total := 0.0
+	for i := range shares {
+		cv := 0.15
+		sigma := math.Sqrt(math.Log(1 + cv*cv))
+		shares[i] = math.Exp(-sigma*sigma/2 + sigma*rrng.NormFloat64())
+		total += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	j.reduceShare = shares
+	for i := 0; i < s.Benchmark.NumReduces; i++ {
+		j.reduceTasks = append(j.reduceTasks, &Task{Job: j, Type: ReduceTask, ID: i, Skew: shares[i] * float64(s.Benchmark.NumReduces)})
+	}
+
+	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.JobSubmit,
+		Detail: fmt.Sprintf("%d maps, %d reduces", len(j.mapTasks), len(j.reduceTasks))})
+	j.eng.After(0, j.pump)
+	j.scheduleSpeculation()
+	return j
+}
+
+// traceTask emits one task lifecycle event.
+func (j *Job) traceTask(t *Task, kind trace.Kind) {
+	node := ""
+	if t.container != nil {
+		node = t.container.Node.Name
+	}
+	j.spec.Trace.Add(trace.Event{
+		Time: j.eng.Now(), Job: j.Name, Kind: kind,
+		TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt, Node: node,
+	})
+}
+
+// Benchmark returns the workload this job runs.
+func (j *Job) Benchmark() workload.Benchmark { return j.bench }
+
+// BaseConfig returns the job-level configuration.
+func (j *Job) BaseConfig() mrconf.Config { return j.spec.BaseConfig }
+
+// Engine returns the simulation engine (for controllers).
+func (j *Job) Engine() *sim.Engine { return j.eng }
+
+// CompletedMaps returns the number of finished map tasks.
+func (j *Job) CompletedMaps() int { return j.completedMaps }
+
+// CompletedReduces returns the number of finished reduce tasks.
+func (j *Job) CompletedReduces() int { return j.completedReduces }
+
+// MapTasks and ReduceTasks expose task state to controllers.
+func (j *Job) MapTasks() []*Task    { return j.mapTasks }
+func (j *Job) ReduceTasks() []*Task { return j.reduceTasks }
+
+// pump requests containers for every launchable pending task: maps in
+// order, then reduces once slowstart has been reached, subject to the
+// controller's launch gate and the reduce headroom policy.
+func (j *Job) pump() {
+	if j.finished {
+		return
+	}
+	// Real AMs ramp container requests with heartbeats instead of
+	// enqueueing every task at submission; modelling that window is
+	// what lets MRONLINE bind a task's configuration shortly before
+	// launch (the per-task configuration files of §4).
+	mapWindow := j.requestWindow(j.spec.BaseConfig.MapMemMB())
+	for j.nextMapReq < len(j.mapTasks) && float64(j.nextMapReq-j.completedMaps) < mapWindow {
+		t := j.mapTasks[j.nextMapReq]
+		if !j.ctrl.AllowLaunch(t) {
+			break
+		}
+		j.requestContainer(t)
+		j.nextMapReq++
+	}
+	slowstartMet := float64(j.completedMaps) >= j.spec.SlowstartFraction*float64(len(j.mapTasks))
+	if len(j.mapTasks) == 0 {
+		slowstartMet = true
+	}
+	if slowstartMet {
+		reduceWindow := j.requestWindow(j.spec.BaseConfig.ReduceMemMB())
+		for j.nextReduceReq < len(j.reduceTasks) && float64(j.nextReduceReq-j.completedReduces) < reduceWindow {
+			t := j.reduceTasks[j.nextReduceReq]
+			if !j.ctrl.AllowLaunch(t) {
+				break
+			}
+			cfg := j.taskConfig(t)
+			if !j.reduceHeadroomOK(cfg.ReduceMemMB()) {
+				break
+			}
+			j.requestContainerWithConfig(t, cfg)
+			j.nextReduceReq++
+		}
+	}
+}
+
+// requestWindow caps requested-but-unfinished tasks at roughly twice
+// what the cluster can run at once for the given container size.
+func (j *Job) requestWindow(memMB float64) float64 {
+	slots := 2 * j.rm.Cluster().TotalContainerMemMB() / memMB
+	if slots < 36 {
+		slots = 36
+	}
+	return slots
+}
+
+func (j *Job) reduceHeadroomOK(memMB float64) bool {
+	if j.completedMaps == len(j.mapTasks) {
+		return true
+	}
+	limit := ReduceHeadroomFraction * j.rm.Cluster().TotalContainerMemMB()
+	return j.reduceMemHeld+memMB <= limit
+}
+
+// taskConfig asks the controller for the attempt's configuration and
+// repairs it against the dependency rules.
+func (j *Job) taskConfig(t *Task) mrconf.Config {
+	return mrconf.Repair(j.ctrl.TaskConfig(t, j.spec.BaseConfig))
+}
+
+func (j *Job) requestContainer(t *Task) {
+	j.requestContainerWithConfig(t, j.taskConfig(t))
+}
+
+func (j *Job) requestContainerWithConfig(t *Task, cfg mrconf.Config) {
+	t.Config = cfg
+	t.State = TaskRequested
+	var shape yarn.Resource
+	var prefs []*cluster.Node
+	if t.Type == MapTask {
+		shape = yarn.Resource{MemMB: cfg.MapMemMB(), VCores: cfg.MapVcores()}
+		if t.Split != nil {
+			prefs = t.Split.Replicas
+		}
+	} else {
+		shape = yarn.Resource{MemMB: cfg.ReduceMemMB(), VCores: cfg.ReduceVcores()}
+		j.reduceMemHeld += shape.MemMB
+	}
+	req := &yarn.Request{
+		Resource:       shape,
+		PreferredNodes: prefs,
+		OnAllocate: func(c *yarn.Container) {
+			t.pendingReq = nil
+			if j.finished || t.killed {
+				j.rm.Release(c)
+				return
+			}
+			if t.Type == MapTask {
+				j.runMap(t, c)
+			} else {
+				j.runReduce(t, c)
+			}
+		},
+		OnPreempt: func(c *yarn.Container) { j.taskPreempted(t) },
+	}
+	t.pendingReq = req
+	j.app.Request(req)
+}
+
+// track registers an attempt's in-flight flows for kill support.
+func (t *Task) track(flows ...*cluster.Flow) {
+	t.liveFlows = append(t.liveFlows, flows...)
+}
+
+// finishAttempt handles bookkeeping common to success and failure.
+func (j *Job) releaseTask(t *Task) {
+	if t.container != nil {
+		j.rm.Release(t.container)
+		t.container = nil
+	}
+}
+
+func (j *Job) report(t *Task, oom bool) TaskReport {
+	c := t.Config
+	duration := t.EndTime - t.StartTime
+	var contMem float64
+	var coreCap float64
+	if t.Type == MapTask {
+		contMem = c.MapMemMB()
+		coreCap = float64(c.MapVcores())
+	} else {
+		contMem = c.ReduceMemMB()
+		coreCap = float64(c.ReduceVcores())
+	}
+	// Core ratio is per-node on heterogeneous clusters.
+	ratio := j.rm.Cluster().Nodes[0].CoreRatio()
+	if t.container != nil {
+		ratio = t.container.Node.CoreRatio()
+	}
+	cpuUtil, memUtil := 0.0, 0.0
+	if duration > 0 {
+		cpuUtil = t.cpuSecs / (coreCap * ratio * duration)
+	}
+	if contMem > 0 {
+		memUtil = t.peakMemMB / contMem
+	}
+	if cpuUtil > 1 {
+		cpuUtil = 1
+	}
+	if memUtil > 1 {
+		memUtil = 1
+	}
+	node := ""
+	if t.container != nil {
+		node = t.container.Node.Name
+	}
+	return TaskReport{
+		JobName: j.Name, Type: t.Type, ID: t.ID, Attempt: t.Attempt,
+		Config: c, Node: node,
+		Start: t.StartTime, End: t.EndTime,
+		CPUUtil: cpuUtil, MemUtil: memUtil,
+		SpilledRecords: t.spilledRec, OutputRecords: t.outputRec,
+		DataMB: t.dataMB, RawOutputMB: t.rawOutMB, Spills: t.numSpills,
+		OOM: oom,
+	}
+}
+
+// taskSucceeded finalizes a successful attempt. With speculation, the
+// first copy to arrive here wins; its twin is killed.
+func (j *Job) taskSucceeded(t *Task) {
+	if j.finished || t.killed {
+		return
+	}
+	logical := t.logical()
+	if logical.logicalDone {
+		// The twin already won; this copy's work is discarded.
+		j.releaseTask(t)
+		return
+	}
+	logical.logicalDone = true
+	if t.specOrigin != nil {
+		j.counters.SpeculativeWins++
+		j.liveShadows--
+		t.specOrigin.specCopy = nil
+	}
+	if other := t.otherCopy(); other != nil {
+		j.killAttempt(other)
+	}
+	t.State = TaskSucceeded
+	t.EndTime = j.eng.Now()
+	j.traceTask(t, trace.TaskFinish)
+	r := j.report(t, false)
+	j.releaseTask(t)
+	j.reports = append(j.reports, r)
+	j.ctrl.TaskCompleted(r)
+	if t.Type == MapTask {
+		j.completedMaps++
+		if j.completedMaps == len(j.mapTasks) {
+			j.wakeAllReducers()
+		}
+	} else {
+		j.completedReduces++
+		j.reduceMemHeld -= t.Config.ReduceMemMB()
+	}
+	if j.completedMaps == len(j.mapTasks) && j.completedReduces == len(j.reduceTasks) {
+		j.finish(nil)
+		return
+	}
+	j.pump()
+}
+
+// taskFailed handles an OOM-killed attempt: re-request (with a fresh
+// configuration from the controller) up to MaxAttempts. A speculative
+// copy that OOMs is simply dropped — its original is still running.
+func (j *Job) taskFailed(t *Task, reason error) {
+	if j.finished || t.killed {
+		return
+	}
+	if t.specOrigin != nil {
+		t.killed = true
+		t.State = TaskFailed
+		j.counters.OOMKills++
+		j.liveShadows--
+		t.specOrigin.specCopy = nil
+		if t.Type == ReduceTask {
+			j.reduceMemHeld -= t.Config.ReduceMemMB()
+		}
+		j.releaseTask(t)
+		j.pump()
+		return
+	}
+	t.EndTime = j.eng.Now()
+	t.oomCount++
+	j.traceTask(t, trace.TaskOOM)
+	j.counters.OOMKills++
+	r := j.report(t, true)
+	j.releaseTask(t)
+	j.reports = append(j.reports, r)
+	j.ctrl.TaskCompleted(r)
+	if t.Type == ReduceTask {
+		j.reduceMemHeld -= t.Config.ReduceMemMB()
+		// Drop any reducer runtime state; the retry re-registers.
+		for i, rr := range j.activeReducers {
+			if rr.task == t {
+				j.activeReducers = append(j.activeReducers[:i], j.activeReducers[i+1:]...)
+				break
+			}
+		}
+	}
+	t.Attempt++
+	if t.Attempt >= j.spec.MaxAttempts {
+		j.finish(fmt.Errorf("mapreduce: task %s failed %d attempts: %w", t, t.Attempt, reason))
+		return
+	}
+	t.State = TaskPending
+	j.requestContainer(t)
+}
+
+func (j *Job) finish(err error) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.failed = err != nil
+	j.failErr = err
+	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.JobFinish,
+		Detail: fmt.Sprintf("failed=%v", j.failed)})
+	j.app.Finish()
+	res := Result{
+		JobName:  j.Name,
+		Duration: j.eng.Now() - j.startTime,
+		Counters: j.counters,
+		Reports:  j.reports,
+		Failed:   j.failed,
+		Err:      err,
+	}
+	var mc, mm, rc, rmu metricAvg
+	for _, r := range j.reports {
+		if r.OOM {
+			continue
+		}
+		if r.Type == MapTask {
+			mc.add(r.CPUUtil)
+			mm.add(r.MemUtil)
+		} else {
+			rc.add(r.CPUUtil)
+			rmu.add(r.MemUtil)
+		}
+	}
+	res.MapCPUUtil, res.MapMemUtil = mc.avg(), mm.avg()
+	res.ReduceCPUUtil, res.ReduceMemUtil = rc.avg(), rmu.avg()
+	if j.onDone != nil {
+		j.onDone(res)
+	}
+}
+
+type metricAvg struct {
+	sum float64
+	n   int
+}
+
+func (m *metricAvg) add(v float64) { m.sum += v; m.n++ }
+func (m *metricAvg) avg() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// mergePasses returns how many full read+write passes over the data
+// the merge phase performs for the given spill count and fan-in: zero
+// for a single spill, one final merge up to factor spills, and extra
+// intermediate passes beyond that (log base factor), the mechanism
+// behind the paper's "3x map output records in the worst case".
+func mergePasses(numSpills, factor int) int {
+	if numSpills <= 1 {
+		return 0
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	return int(math.Ceil(math.Log(float64(numSpills)) / math.Log(float64(factor))))
+}

@@ -1,0 +1,239 @@
+package mapreduce
+
+import (
+	"math"
+
+	"repro/internal/mrconf"
+	"repro/internal/trace"
+	"repro/internal/yarn"
+)
+
+// reduceRun holds the shuffle-phase runtime state of one reducer.
+type reduceRun struct {
+	task *Task
+	// attempt pins the run to one incarnation: a preempted-and-requeued
+	// task gets a fresh reduceRun, and stale callbacks must not finish
+	// the task on the old one's behalf.
+	attempt int
+	// Deferred counter contributions, applied only if this attempt
+	// wins (speculative twins must not double-count).
+	pendingInMB      float64
+	pendingSpillRec  float64
+	pendingOutputRec float64
+	// share is this reducer's fraction of total map output.
+	share float64
+	// estTotalMB is the planning estimate of the reducer's input.
+	estTotalMB float64
+	// fetchedMB has completed fetching; fetchingMB is in flight.
+	fetchedMB  float64
+	fetchingMB float64
+	busy       bool
+	shuffled   bool
+	// diskFrac of fetched bytes lands on disk (derived from the
+	// shuffle buffer configuration).
+	diskFrac    float64
+	numDiskSegs int
+}
+
+// runReduce executes one reduce task attempt: shuffle (as map outputs
+// become available), merge/sort, reduce function, and output write.
+func (j *Job) runReduce(t *Task, c *yarn.Container) {
+	t.State = TaskRunning
+	t.StartTime = j.eng.Now()
+	t.container = c
+	t.cpuSecs = 0
+	j.traceTask(t, trace.TaskStart)
+	att := t.Attempt
+	j.eng.After(TaskLaunchOverheadSecs, func() {
+		if t.Attempt != att {
+			return // the attempt was preempted during launch
+		}
+		j.reduceMain(t)
+	})
+}
+
+func (j *Job) reduceMain(t *Task) {
+	if j.finished || t.killed {
+		return
+	}
+	cfg := j.ctrl.LiveConfig(t, t.Config)
+	t.Config = cfg
+	p := j.bench.Profile
+
+	share := j.reduceShare[t.ID]
+	estTotalMB := j.bench.ShuffleSizeMB * share
+
+	heap := cfg.ReduceHeapMB()
+	shuffleBufMB := cfg.ShuffleBufferPct() * heap
+	retainMB := math.Min(math.Min(estTotalMB, shuffleBufMB), cfg.ReduceInputBufPct()*heap)
+
+	// Peak heap: during shuffle the filled part of the buffer (the
+	// shuffle buffer is allocated lazily, segment by segment, unlike
+	// the map side's preallocated io.sort.mb array); during reduce the
+	// retained bytes plus the user code working set.
+	shufflePeak := JVMBaseMB + math.Min(shuffleBufMB, estTotalMB*math.Max(1, t.Skew))
+	reducePeak := JVMBaseMB + retainMB + p.ReduceWorkingSetMB*math.Sqrt(math.Max(1, t.Skew))
+	heapNeedMB := math.Max(shufflePeak, reducePeak)
+	t.peakMemMB = heapNeedMB / mrconf.HeapFraction
+
+	if heapNeedMB > heap {
+		frac := heap / heapNeedMB
+		failAfter := math.Max(2, 10*frac)
+		j.eng.After(failAfter, func() { j.taskFailed(t, errOOM) })
+		return
+	}
+
+	r := &reduceRun{task: t, attempt: t.Attempt, share: share, estTotalMB: estTotalMB}
+
+	// Segment routing: average segment size vs the in-memory fetch
+	// limit decides whether fetches land in memory or stream to disk.
+	segMB := estTotalMB / math.Max(1, float64(len(j.mapTasks)))
+	segToMem := segMB <= cfg.MemoryLimitPct()*shuffleBufMB
+	var diskMB float64
+	if !segToMem || shuffleBufMB <= 0 {
+		diskMB = estTotalMB
+		r.numDiskSegs = len(j.mapTasks)
+	} else {
+		diskMB = math.Max(0, estTotalMB-retainMB)
+		flushUnit := cfg.MergePct() * shuffleBufMB
+		if th := cfg.InmemThreshold(); th > 0 {
+			flushUnit = math.Min(flushUnit, float64(th)*segMB)
+		}
+		flushUnit = math.Max(flushUnit, 1)
+		r.numDiskSegs = int(math.Ceil(diskMB / flushUnit))
+	}
+	if estTotalMB > 0 {
+		r.diskFrac = diskMB / estTotalMB
+	}
+
+	j.activeReducers = append(j.activeReducers, r)
+	j.tryFetch(r)
+}
+
+// availableMB returns shuffle bytes ready for this reducer.
+func (j *Job) availableMB(r *reduceRun) float64 {
+	return j.totalMapOutMB*r.share - r.fetchedMB - r.fetchingMB
+}
+
+// wakeReducers pokes idle reducers after new map output appears.
+func (j *Job) wakeReducers() {
+	for _, r := range j.activeReducers {
+		if !r.busy && !r.shuffled {
+			j.tryFetch(r)
+		}
+	}
+}
+
+// wakeAllReducers runs when the last map finishes, releasing reducers
+// waiting on the batching threshold.
+func (j *Job) wakeAllReducers() { j.wakeReducers() }
+
+// tryFetch starts the next batched shuffle fetch for r, or advances to
+// the sort phase when everything has arrived.
+func (j *Job) tryFetch(r *reduceRun) {
+	if j.finished || r.task.killed || r.busy || r.shuffled {
+		return
+	}
+	t := r.task
+	allMapsDone := j.completedMaps == len(j.mapTasks)
+	avail := j.availableMB(r)
+	if avail <= 1e-9 {
+		if allMapsDone && r.fetchingMB == 0 {
+			r.shuffled = true
+			j.reduceSort(r)
+		}
+		return
+	}
+	if !allMapsDone && avail < MinFetchChunkMB {
+		return // batch small fetches; a later wake will retry
+	}
+	chunk := avail
+	r.busy = true
+	r.fetchingMB = chunk
+	cfg := t.Config
+	rateCap := float64(cfg.ParallelCopies()) * ShuffleStreamMBps
+
+	diskPart := chunk * r.diskFrac
+	flows := 1
+	if diskPart > 0 {
+		flows++
+	}
+	next := join(flows, func() {
+		r.busy = false
+		r.fetchingMB = 0
+		r.fetchedMB += chunk
+		j.tryFetch(r)
+	})
+	t.track(j.rm.Cluster().Fetch(t.container.Node, chunk, CrossRackFraction, rateCap, next)...)
+	if diskPart > 0 {
+		t.track(t.container.Node.DiskWrite(diskPart, next))
+	}
+}
+
+// reduceSort merges spilled segments (possibly in multiple passes) and
+// runs the reduce function, pipelined with the final merge read.
+func (j *Job) reduceSort(r *reduceRun) {
+	if j.finished || r.task.killed {
+		return
+	}
+	t := r.task
+	cfg := t.Config
+	p := j.bench.Profile
+	node := t.container.Node
+
+	totalIn := r.fetchedMB
+	diskMB := totalIn * r.diskFrac
+	r.pendingInMB = totalIn
+
+	extraPasses := 0
+	if r.numDiskSegs > cfg.SortFactor() {
+		extraPasses = mergePasses(r.numDiskSegs, cfg.SortFactor()) - 1
+	}
+	readMB := diskMB + 2*diskMB*float64(extraPasses)
+	spilledMB := diskMB + diskMB*float64(extraPasses)
+	if p.RecordBytes > 0 {
+		t.spilledRec = spilledMB / p.RecordBytes
+		t.outputRec = totalIn / p.RecordBytes
+	}
+	t.dataMB = totalIn
+	r.pendingSpillRec = t.spilledRec
+
+	cpu := totalIn * (p.SortCPUPerMB*float64(1+extraPasses) + p.ReduceCPUPerMB)
+	t.cpuSecs += cpu
+	coreCap := math.Min(ReduceComputeParallelism, math.Max(t.container.CoreCap(), BurstFloorCores))
+
+	done := join(2, func() { j.reduceOutput(r, totalIn) })
+	t.track(node.DiskRead(readMB, done))
+	t.track(node.Compute(cpu, coreCap, done))
+}
+
+// reduceOutput writes the reducer's output file to HDFS.
+func (j *Job) reduceOutput(r *reduceRun, totalIn float64) {
+	if j.finished || r.task.killed {
+		return
+	}
+	t := r.task
+	outMB := totalIn * j.bench.Profile.ReduceSelectivity
+	_, flows := j.fs.Write(t.container.Node, outMB, func() {
+		j.reduceFinish(r, outMB)
+	})
+	t.track(flows...)
+}
+
+// reduceFinish applies the winning attempt's counter contributions.
+func (j *Job) reduceFinish(r *reduceRun, outMB float64) {
+	t := r.task
+	if t.Attempt != r.attempt {
+		// Stale incarnation: its container was already reclaimed at
+		// preemption time, and t.container now belongs to the retry.
+		return
+	}
+	if j.finished || t.killed || t.logical().logicalDone {
+		j.releaseTask(t)
+		return
+	}
+	j.counters.ReduceInputMB += r.pendingInMB
+	j.counters.SpilledRecordsRed += r.pendingSpillRec
+	j.counters.OutputMB += outMB
+	j.taskSucceeded(t)
+}

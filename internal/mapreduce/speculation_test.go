@@ -1,0 +1,269 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mrconf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// stragglerRig interferes with two nodes right after the job starts so
+// that tasks placed there crawl — the scenario speculation exists for.
+func stragglerRig(t *testing.T, spec Spec) (Result, *rig) {
+	t.Helper()
+	r := newRig()
+	r.eng.At(3, func() { // after the first wave has been placed
+		for i := 0; i < 2; i++ {
+			n := r.c.Nodes[i]
+			for k := 0; k < 30; k++ {
+				n.InjectDiskLoad(30, 3600, nil)
+				n.InjectCPULoad(1, 3600, nil)
+			}
+		}
+	})
+	var res Result
+	got := false
+	Submit(r.rm, r.fs, spec, func(rr Result) { res = rr; got = true })
+	r.eng.Run()
+	if !got {
+		t.Fatal("straggler job never completed")
+	}
+	return res, r
+}
+
+func TestSpeculationRescuesStragglers(t *testing.T) {
+	b := workload.Terasort(20, 0, 0)
+	without, _ := stragglerRig(t, Spec{Benchmark: b, BaseConfig: mrconf.Default()})
+	with, _ := stragglerRig(t, Spec{Benchmark: b, BaseConfig: mrconf.Default(),
+		Speculation: DefaultSpeculation()})
+
+	if with.Failed || without.Failed {
+		t.Fatalf("runs failed: %v / %v", with.Err, without.Err)
+	}
+	if with.Counters.SpeculativeLaunches == 0 {
+		t.Fatal("no speculative attempts launched despite stragglers")
+	}
+	if with.Counters.SpeculativeWins == 0 {
+		t.Fatal("no speculative attempt ever won")
+	}
+	if with.Duration >= without.Duration {
+		t.Fatalf("speculation (%.0fs) did not beat no-speculation (%.0fs)",
+			with.Duration, without.Duration)
+	}
+}
+
+func TestSpeculationPreservesInvariants(t *testing.T) {
+	b := workload.Terasort(20, 0, 0)
+	res, _ := stragglerRig(t, Spec{Benchmark: b, BaseConfig: mrconf.Default(),
+		Speculation: DefaultSpeculation()})
+	if res.Failed {
+		t.Fatal(res.Err)
+	}
+	checkInvariants(t, b, res)
+	// Exactly one success report per logical task.
+	seen := map[[2]int]int{}
+	for _, r := range res.Reports {
+		if r.OOM {
+			continue
+		}
+		key := [2]int{int(r.Type), r.ID}
+		seen[key]++
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %v has %d success reports", key, n)
+		}
+	}
+	// Launch/win/kill bookkeeping is consistent: every launch ends in a
+	// win (loser killed) or its own death.
+	c := res.Counters
+	if c.SpeculativeKills+c.OOMKills < c.SpeculativeWins {
+		t.Fatalf("wins %d without matching kills %d", c.SpeculativeWins, c.SpeculativeKills)
+	}
+}
+
+func TestSpeculationIdleOnHealthyCluster(t *testing.T) {
+	// Without interference the lognormal skew tail may trigger an
+	// occasional copy, but speculation must stay rare and never slow
+	// the job down materially.
+	b := workload.Terasort(20, 0, 0)
+	plain := newRig().run(t, Spec{Benchmark: b, BaseConfig: mrconf.Default()})
+	r := newRig()
+	var res Result
+	Submit(r.rm, r.fs, Spec{Benchmark: b, BaseConfig: mrconf.Default(),
+		Speculation: DefaultSpeculation()}, func(rr Result) { res = rr })
+	r.eng.Run()
+	if res.Failed {
+		t.Fatal(res.Err)
+	}
+	if res.Counters.SpeculativeLaunches > b.NumMaps/4 {
+		t.Fatalf("%d speculative launches on a healthy cluster", res.Counters.SpeculativeLaunches)
+	}
+	if res.Duration > plain.Duration*1.1 {
+		t.Fatalf("speculation slowed a healthy run: %.0fs vs %.0fs", res.Duration, plain.Duration)
+	}
+}
+
+func TestSpeculationWithTunerCoexists(t *testing.T) {
+	// Speculative copies reuse the original's per-task configuration;
+	// a controller-driven job must still complete under interference.
+	b := workload.Terasort(20, 0, 0)
+	ctrl := &alternatingVcores{}
+	res, _ := stragglerRig(t, Spec{Benchmark: b, BaseConfig: mrconf.Default(),
+		Controller: ctrl, Speculation: DefaultSpeculation()})
+	if res.Failed {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestKillAttemptReleasesResources(t *testing.T) {
+	// After a speculative job completes, no container memory may
+	// remain allocated anywhere (kills released their containers).
+	b := workload.Terasort(20, 0, 0)
+	res, r := stragglerRig(t, Spec{Benchmark: b, BaseConfig: mrconf.Default(),
+		Speculation: DefaultSpeculation()})
+	if res.Failed {
+		t.Fatal(res.Err)
+	}
+	for _, n := range r.c.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Fatalf("node %s still holds %v MB after job end", n.Name, n.Mem.Used())
+		}
+	}
+}
+
+func TestPreemptionEndToEnd(t *testing.T) {
+	// A long Terasort fills the cluster; a short job arrives later.
+	// With fair-share preemption the short job finishes much earlier,
+	// and the long job still completes with conserved counters.
+	runPair := func(preempt bool) (longDur, shortDone float64, preemptions int) {
+		eng := sim.NewEngine()
+		c := cluster.New(eng, cluster.PaperConfig())
+		rm := yarn.NewResourceManager(eng, c, yarn.FairScheduler{})
+		fs := hdfs.New(c, sim.NewSource(42).Stream("hdfs"))
+		if preempt {
+			rm.EnablePreemption(yarn.DefaultPreemption())
+		}
+		long := workload.Terasort(60, 0, 0)
+		short := workload.Terasort(2, 0, 0)
+		var longRes Result
+		Submit(rm, fs, Spec{Name: "long", Benchmark: long, BaseConfig: mrconf.Default()},
+			func(r Result) { longRes = r })
+		eng.At(30, func() {
+			Submit(rm, fs, Spec{Name: "short", Benchmark: short, BaseConfig: mrconf.Default()},
+				func(r Result) { shortDone = eng.Now() })
+		})
+		eng.Run()
+		if longRes.Failed {
+			t.Fatalf("long job failed: %v", longRes.Err)
+		}
+		checkInvariants(t, long, longRes)
+		return longRes.Duration, shortDone, longRes.Counters.Preemptions
+	}
+
+	_, shortNo, _ := runPair(false)
+	longP, shortYes, preempted := runPair(true)
+	if preempted == 0 {
+		t.Fatal("no tasks preempted")
+	}
+	if shortYes >= shortNo {
+		t.Fatalf("preemption did not help the short job: %.0fs vs %.0fs", shortYes, shortNo)
+	}
+	if longP <= 0 {
+		t.Fatal("long job broken")
+	}
+}
+
+func TestSpeculationPlusPreemption(t *testing.T) {
+	// All three mechanisms at once: stragglers (mid-job interference),
+	// speculation, and a second job triggering fair-share preemption.
+	eng := sim.NewEngine()
+	c := cluster.New(eng, cluster.PaperConfig())
+	rm := yarn.NewResourceManager(eng, c, yarn.FairScheduler{})
+	rm.EnablePreemption(yarn.DefaultPreemption())
+	fs := hdfs.New(c, sim.NewSource(5).Stream("hdfs"))
+	eng.At(3, func() {
+		for i := 0; i < 2; i++ {
+			n := c.Nodes[i]
+			for k := 0; k < 20; k++ {
+				n.InjectDiskLoad(30, 3600, nil)
+				n.InjectCPULoad(1, 3600, nil)
+			}
+		}
+	})
+	long := workload.Terasort(60, 0, 0)
+	short := workload.Terasort(6, 0, 0)
+	var longRes, shortRes Result
+	Submit(rm, fs, Spec{Name: "long", Benchmark: long, BaseConfig: mrconf.Default(),
+		Speculation: DefaultSpeculation()}, func(r Result) { longRes = r })
+	eng.At(40, func() {
+		Submit(rm, fs, Spec{Name: "short", Benchmark: short, BaseConfig: mrconf.Default(),
+			Speculation: DefaultSpeculation()}, func(r Result) { shortRes = r })
+	})
+	eng.Run()
+	if longRes.Failed || shortRes.Failed {
+		t.Fatalf("jobs failed: %v / %v", longRes.Err, shortRes.Err)
+	}
+	checkInvariants(t, long, longRes)
+	checkInvariants(t, short, shortRes)
+	// Resources fully returned.
+	for _, n := range c.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Fatalf("node %s leaks %v MB", n.Name, n.Mem.Used())
+		}
+	}
+}
+
+func TestPreemptionWhilePending(t *testing.T) {
+	// Preempting containers while other requests are still queued must
+	// not corrupt the request bookkeeping: the preempted tasks requeue
+	// and everything completes.
+	eng := sim.NewEngine()
+	c := cluster.New(eng, cluster.PaperConfig())
+	rm := yarn.NewResourceManager(eng, c, yarn.FairScheduler{})
+	rm.EnablePreemption(yarn.PreemptionConfig{CheckInterval: 3, StarvationFraction: 0.8, MaxKillsPerRound: 8})
+	fs := hdfs.New(c, sim.NewSource(6).Stream("hdfs"))
+	a := workload.Terasort(20, 0, 0)
+	bb := workload.Terasort(20, 0, 0)
+	done := 0
+	var resA, resB Result
+	Submit(rm, fs, Spec{Name: "a", Benchmark: a, BaseConfig: mrconf.Default()},
+		func(r Result) { resA = r; done++ })
+	eng.At(10, func() {
+		Submit(rm, fs, Spec{Name: "b", Benchmark: bb, BaseConfig: mrconf.Default()},
+			func(r Result) { resB = r; done++ })
+	})
+	eng.Run()
+	if done != 2 || resA.Failed || resB.Failed {
+		t.Fatalf("done=%d failedA=%v failedB=%v", done, resA.Failed, resB.Failed)
+	}
+	checkInvariants(t, a, resA)
+	checkInvariants(t, bb, resB)
+}
+
+func TestShadowOOMDropsQuietly(t *testing.T) {
+	// A speculative copy that OOMs must be dropped without failing the
+	// job or blocking the original.
+	base := mrconf.Default()
+	b, err := workload.ByName("bigram/Freebase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to a quick variant with the same profile (high working
+	// set -> shadows of skewed tasks can OOM under tight configs).
+	b.NumMaps = 60
+	b.NumReduces = 15
+	b.InputSizeMB = 60 * b.SplitSizeMB()
+	b.ShuffleSizeMB = b.InputSizeMB * b.Profile.RawMapSelectivity * b.Profile.CombinerReduction
+	b.OutputSizeMB = b.ShuffleSizeMB * b.Profile.ReduceSelectivity
+
+	res, _ := stragglerRig(t, Spec{Benchmark: b, BaseConfig: base,
+		Speculation: DefaultSpeculation(), Name: "bigram-mini"})
+	if res.Failed {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+}

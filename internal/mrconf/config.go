@@ -1,0 +1,187 @@
+package mrconf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Config is one point in the parameter space: a full assignment of the
+// Table 2 parameters. Unset parameters take their defaults. Config
+// values behave like immutable values — With returns a modified copy —
+// so configurations can be shared between tasks safely.
+type Config struct {
+	overrides map[string]float64
+}
+
+// Default returns the default YARN configuration (Table 2, rightmost
+// column).
+func Default() Config { return Config{} }
+
+// FromMap builds a Config from explicit overrides. Unknown names panic.
+func FromMap(values map[string]float64) Config {
+	c := Config{}
+	for name, v := range values {
+		c = c.With(name, v)
+	}
+	return c
+}
+
+// Get returns the value of a parameter (the default if not overridden).
+// Unknown names panic: a misspelled key silently returning 0 would
+// corrupt a simulation.
+func (c Config) Get(name string) float64 {
+	if v, ok := c.overrides[name]; ok {
+		return v
+	}
+	return MustLookup(name).Default
+}
+
+// With returns a copy of c with name set to value. The value is
+// quantized to the parameter's granularity and clamped into range.
+func (c Config) With(name string, value float64) Config {
+	p := MustLookup(name)
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		panic(fmt.Sprintf("mrconf: non-finite value %v for %s", value, name))
+	}
+	v := p.Quantize(value)
+	out := Config{overrides: make(map[string]float64, len(c.overrides)+1)}
+	for k, ov := range c.overrides {
+		out.overrides[k] = ov
+	}
+	if v == p.Default {
+		delete(out.overrides, name)
+	} else {
+		out.overrides[name] = v
+	}
+	return out
+}
+
+// Merge returns c with all of other's overrides applied on top.
+func (c Config) Merge(other Config) Config {
+	out := c
+	for name, v := range other.overrides {
+		out = out.With(name, v)
+	}
+	return out
+}
+
+// Equal reports whether two configs assign identical values to every
+// parameter.
+func (c Config) Equal(other Config) bool {
+	for _, p := range registry {
+		if c.Get(p.Name) != other.Get(p.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overrides returns the non-default assignments, for reporting.
+func (c Config) Overrides() map[string]float64 {
+	out := make(map[string]float64, len(c.overrides))
+	for k, v := range c.overrides {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the non-default assignments in a stable order.
+func (c Config) String() string {
+	if len(c.overrides) == 0 {
+		return "defaults"
+	}
+	keys := make([]string, 0, len(c.overrides))
+	for k := range c.overrides {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%g", k, c.overrides[k])
+	}
+	return b.String()
+}
+
+// MarshalJSON encodes the full parameter assignment.
+func (c Config) MarshalJSON() ([]byte, error) {
+	m := make(map[string]float64, len(registry))
+	for _, p := range registry {
+		m[p.Name] = c.Get(p.Name)
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes a full or partial parameter assignment.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	out := Config{}
+	for name, v := range m {
+		if _, ok := Lookup(name); !ok {
+			return fmt.Errorf("mrconf: unknown parameter %q in JSON", name)
+		}
+		out = out.With(name, v)
+	}
+	*c = out
+	return nil
+}
+
+// Typed accessors for the parameters the runtime consults constantly.
+
+// MapMemMB returns the map container memory in MB.
+func (c Config) MapMemMB() float64 { return c.Get(MapMemoryMB) }
+
+// ReduceMemMB returns the reduce container memory in MB.
+func (c Config) ReduceMemMB() float64 { return c.Get(ReduceMemoryMB) }
+
+// SortMB returns the map-side sort buffer size in MB.
+func (c Config) SortMB() float64 { return c.Get(IOSortMB) }
+
+// SpillPct returns the sort-buffer spill threshold fraction.
+func (c Config) SpillPct() float64 { return c.Get(SortSpillPercent) }
+
+// ShuffleBufferPct returns the shuffle input buffer heap fraction.
+func (c Config) ShuffleBufferPct() float64 { return c.Get(ShuffleInputBufferPct) }
+
+// MergePct returns the in-memory merge trigger fraction.
+func (c Config) MergePct() float64 { return c.Get(ShuffleMergePct) }
+
+// MemoryLimitPct returns the single-segment in-memory fetch limit.
+func (c Config) MemoryLimitPct() float64 { return c.Get(ShuffleMemoryLimitPct) }
+
+// InmemThreshold returns the in-memory merge segment-count trigger.
+func (c Config) InmemThreshold() int { return int(c.Get(MergeInmemThreshold)) }
+
+// ReduceInputBufPct returns the reduce-phase retained-buffer fraction.
+func (c Config) ReduceInputBufPct() float64 { return c.Get(ReduceInputBufferPct) }
+
+// MapVcores returns vcores per map container.
+func (c Config) MapVcores() int { return int(c.Get(MapCPUVcores)) }
+
+// ReduceVcores returns vcores per reduce container.
+func (c Config) ReduceVcores() int { return int(c.Get(ReduceCPUVcores)) }
+
+// SortFactor returns the merge fan-in.
+func (c Config) SortFactor() int { return int(c.Get(IOSortFactor)) }
+
+// ParallelCopies returns the shuffle fetch concurrency.
+func (c Config) ParallelCopies() int { return int(c.Get(ShuffleParallelCopies)) }
+
+// HeapFraction is the fraction of container memory available as JVM
+// heap (the rest is JVM and native overhead). Hadoop guides recommend
+// ~0.8; the simulator uses the same constant.
+const HeapFraction = 0.8
+
+// MapHeapMB returns the usable map-task heap in MB.
+func (c Config) MapHeapMB() float64 { return c.MapMemMB() * HeapFraction }
+
+// ReduceHeapMB returns the usable reduce-task heap in MB.
+func (c Config) ReduceHeapMB() float64 { return c.ReduceMemMB() * HeapFraction }

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDoc() *Document {
+	d := &Document{Title: "Results <test>", Subtitle: "all & sundry"}
+	d.AddChart("Figure 4", "Terasort execution time",
+		&BarChart{
+			YLabel: "seconds",
+			Series: []string{"Default", "Offline", "MRONLINE"},
+			Groups: []BarGroup{{Label: "terasort", Values: []float64{551, 400, 396}}},
+		})
+	d.AddTable("Table 3", "characteristics",
+		&Table{Header: []string{"bench", "input"}, Rows: [][]string{{"bigram", "90.5"}}})
+	return d
+}
+
+func TestRenderHTMLWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleDoc().RenderHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "</svg>", "<table>", "</html>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// Title must be escaped.
+	if strings.Contains(out, "<test>") {
+		t.Fatal("unescaped title")
+	}
+	if !strings.Contains(out, "&lt;test&gt;") {
+		t.Fatal("title not visible escaped")
+	}
+	// All three bars rendered.
+	if strings.Count(out, "<rect") < 3+3 { // bars + legend swatches
+		t.Fatalf("too few rects:\n%s", out)
+	}
+}
+
+func TestChartScalesBars(t *testing.T) {
+	c := &BarChart{
+		Series: []string{"a"},
+		Groups: []BarGroup{{Label: "x", Values: []float64{100}}, {Label: "y", Values: []float64{50}}},
+	}
+	svg := c.SVG(400, 200)
+	// The 100-value bar must be roughly twice as tall as the 50 bar.
+	heights := extractHeights(t, svg)
+	if len(heights) < 2 {
+		t.Fatalf("found %d bars", len(heights))
+	}
+	if math.Abs(heights[0]/heights[1]-2) > 0.05 {
+		t.Fatalf("bar heights %v not proportional", heights)
+	}
+}
+
+// extractHeights pulls rect heights in document order (bars first),
+// skipping the svg element's own height attribute.
+func extractHeights(t *testing.T, svg string) []float64 {
+	t.Helper()
+	var out []float64
+	for _, part := range strings.Split(svg, `height="`)[1:] {
+		end := strings.IndexByte(part, '"')
+		v, err := strconv.ParseFloat(part[:end], 64)
+		if err == nil {
+			out = append(out, v)
+		}
+	}
+	if len(out) > 0 {
+		out = out[1:]
+	}
+	return out
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 12: 20, 95: 100, 230: 250, 3.1e9: 5e9,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceCeil(0) != 1 || niceCeil(-5) != 1 {
+		t.Error("non-positive inputs should map to 1")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2e9: "2.0G", 1.5e6: "1.5M", 2500: "2.5k", 42: "42", 0.25: "0.25",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	if (&BarChart{}).SVG(100, 100) != "" {
+		t.Fatal("empty chart should render nothing")
+	}
+}
+
+// Property: rendering never panics and output is balanced for random
+// bar values.
+func TestRenderProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		groups := make([]BarGroup, 0, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				v = 0
+			}
+			groups = append(groups, BarGroup{Label: strings.Repeat("g", i%3+1), Values: []float64{v}})
+		}
+		if len(groups) == 0 {
+			return true
+		}
+		svg := (&BarChart{Series: []string{"s"}, Groups: groups}).SVG(600, 300)
+		return strings.Count(svg, "<svg") == 1 && strings.Count(svg, "</svg>") == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated time is in seconds, represented as float64. Events
+// scheduled for the same instant fire in the order they were scheduled,
+// which makes every simulation bit-for-bit reproducible given the same
+// inputs and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 when not queued
+	canceled bool
+}
+
+// At reports the simulation time this event is scheduled for.
+func (e *Event) At() float64 { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all model code runs inside event callbacks on the
+// goroutine that calls Run.
+type Engine struct {
+	now     float64
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	// processed counts events that have fired, useful for tests and
+	// runaway detection.
+	processed uint64
+	// MaxEvents aborts Run with a panic when the event count exceeds it.
+	// Zero means no limit.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics, since it indicates a broken model rather than a recoverable
+// condition.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes ev from the queue. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.pq, ev.index)
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued (not yet fired) events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Run processes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(math.Inf(1))
+}
+
+// RunUntil processes events with time <= t, then sets the clock to t if
+// the queue drained earlier than t (and t is finite).
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		next := e.pq[0]
+		if next.at > t {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		e.processed++
+		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway model?)", e.MaxEvents))
+		}
+		next.fn()
+	}
+	if !math.IsInf(t, 1) && t > e.now && !e.stopped {
+		e.now = t
+	}
+}
+
+// Ticker invokes fn every interval seconds until Stop is called or fn
+// returns false. It exists because a periodic event chain keeps the
+// event queue non-empty: components must stop their tickers when the
+// observed work completes or Run never returns.
+type Ticker struct {
+	eng      *Engine
+	interval float64
+	fn       func() bool
+	stopped  bool
+}
+
+// Tick schedules fn every interval seconds, starting one interval from
+// now. fn returning false stops the ticker.
+func (e *Engine) Tick(interval float64, fn func() bool) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick interval %v", interval))
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.eng.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		if !t.fn() {
+			t.stopped = true
+			return
+		}
+		t.schedule()
+	})
+}
+
+// Stop halts the ticker (idempotent).
+func (t *Ticker) Stop() { t.stopped = true }

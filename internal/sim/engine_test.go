@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.At(10, func() {
+		e.After(2.5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 12.5 {
+		t.Fatalf("After fired at %v, want 12.5", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	// Double-cancel and cancel-nil must be harmless.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelFromInsideEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var ev *Event
+	e.At(1, func() { e.Cancel(ev) })
+	ev = e.At(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled from inside an earlier event still fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock should advance to RunUntil bound, got %v", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt processing, count = %d", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run() // resumes
+	if count != 2 {
+		t.Fatalf("resume after Stop failed, count = %d", count)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNonFiniteTimePanics(t *testing.T) {
+	e := NewEngine()
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", bad)
+				}
+			}()
+			e.At(bad, func() {})
+		}()
+	}
+}
+
+func TestEngineMaxEvents(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.At(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway loop did not trip MaxEvents")
+		}
+	}()
+	e.Run()
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order, and every non-canceled event fires exactly once.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []float64
+		count := int(n)%64 + 1
+		times := make([]float64, count)
+		for i := 0; i < count; i++ {
+			at := rng.Float64() * 100
+			times[i] = at
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != count {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range times {
+			if times[i] != fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := e.Tick(2, func() bool { count++; return count < 3 })
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3 (stopped by fn)", count)
+	}
+	if e.Now() != 6 {
+		t.Fatalf("clock = %v, want 6", e.Now())
+	}
+	tk.Stop() // idempotent after self-stop
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := e.Tick(1, func() bool { count++; return true })
+	e.At(4.5, func() { tk.Stop() })
+	e.Run()
+	if count != 4 {
+		t.Fatalf("ticks = %d, want 4 before Stop", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("stopped ticker left events pending after drain")
+	}
+}
+
+func TestTickerBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	NewEngine().Tick(0, func() bool { return true })
+}
+
+// BenchmarkEngineThroughput measures raw event processing speed.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(1, fn)
+		}
+	}
+	e.At(0, fn)
+	b.ResetTimer()
+	e.Run()
+}

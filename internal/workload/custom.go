@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchmarkSpec is the JSON schema for user-defined benchmarks, so
+// downstream users can model their own applications without touching
+// Go code:
+//
+//	{
+//	  "name": "sessionize",
+//	  "input_gb": 250,
+//	  "maps": 1870, "reduces": 400,
+//	  "map_cpu_per_mb": 0.02,
+//	  "raw_map_selectivity": 0.9,
+//	  "combiner_reduction": 0.6,
+//	  "reduce_selectivity": 0.3,
+//	  "record_bytes": 48,
+//	  "map_working_set_mb": 220,
+//	  "reduce_working_set_mb": 260,
+//	  "skew_cv": 0.2
+//	}
+type BenchmarkSpec struct {
+	Name    string  `json:"name"`
+	InputGB float64 `json:"input_gb"`
+	Maps    int     `json:"maps"`
+	Reduces int     `json:"reduces"`
+
+	MapCPUPerMB        float64 `json:"map_cpu_per_mb"`
+	MapFixedCPUSecs    float64 `json:"map_fixed_cpu_secs"`
+	ReduceCPUPerMB     float64 `json:"reduce_cpu_per_mb"`
+	SortCPUPerMB       float64 `json:"sort_cpu_per_mb"`
+	RawMapSelectivity  float64 `json:"raw_map_selectivity"`
+	CombinerReduction  float64 `json:"combiner_reduction"`
+	ReduceSelectivity  float64 `json:"reduce_selectivity"`
+	RecordBytes        float64 `json:"record_bytes"` // bytes, not MB
+	MapWorkingSetMB    float64 `json:"map_working_set_mb"`
+	ReduceWorkingSetMB float64 `json:"reduce_working_set_mb"`
+	SkewCV             float64 `json:"skew_cv"`
+	CPUFactor          float64 `json:"cpu_factor"`
+}
+
+// Validate checks the spec for the mistakes that would make a
+// simulation silently meaningless.
+func (s BenchmarkSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: spec needs a name")
+	case s.Maps <= 0:
+		return fmt.Errorf("workload: %s: maps must be positive", s.Name)
+	case s.Reduces < 0:
+		return fmt.Errorf("workload: %s: negative reduces", s.Name)
+	case s.InputGB < 0:
+		return fmt.Errorf("workload: %s: negative input size", s.Name)
+	case s.InputGB > 0 && s.RawMapSelectivity <= 0:
+		return fmt.Errorf("workload: %s: raw_map_selectivity must be positive", s.Name)
+	case s.CombinerReduction < 0 || s.CombinerReduction > 1:
+		return fmt.Errorf("workload: %s: combiner_reduction outside [0,1]", s.Name)
+	case s.ReduceSelectivity < 0:
+		return fmt.Errorf("workload: %s: negative reduce_selectivity", s.Name)
+	case s.RecordBytes <= 0:
+		return fmt.Errorf("workload: %s: record_bytes must be positive", s.Name)
+	case s.SkewCV < 0 || s.SkewCV > 1:
+		return fmt.Errorf("workload: %s: skew_cv outside [0,1]", s.Name)
+	case s.InputGB == 0 && s.MapFixedCPUSecs <= 0:
+		return fmt.Errorf("workload: %s: a job with no input needs map_fixed_cpu_secs", s.Name)
+	}
+	return nil
+}
+
+// Benchmark materializes the spec.
+func (s BenchmarkSpec) Benchmark() (Benchmark, error) {
+	if err := s.Validate(); err != nil {
+		return Benchmark{}, err
+	}
+	comb := s.CombinerReduction
+	if comb == 0 {
+		comb = 1 // no combiner
+	}
+	cpuFactor := s.CPUFactor
+	if cpuFactor == 0 {
+		cpuFactor = 1
+	}
+	inputMB := s.InputGB * 1024
+	shuffleMB := inputMB * s.RawMapSelectivity * comb
+	p := Profile{
+		Name:               s.Name,
+		MapCPUPerMB:        s.MapCPUPerMB * cpuFactor,
+		MapFixedCPUSecs:    s.MapFixedCPUSecs,
+		ReduceCPUPerMB:     s.ReduceCPUPerMB * cpuFactor,
+		SortCPUPerMB:       defaultIfZero(s.SortCPUPerMB, 0.003),
+		RawMapSelectivity:  s.RawMapSelectivity,
+		CombinerReduction:  comb,
+		ReduceSelectivity:  s.ReduceSelectivity,
+		RecordBytes:        s.RecordBytes * 1e-6, // bytes -> MB
+		MapWorkingSetMB:    defaultIfZero(s.MapWorkingSetMB, 100),
+		ReduceWorkingSetMB: defaultIfZero(s.ReduceWorkingSetMB, 150),
+	}
+	return Benchmark{
+		Name:          s.Name,
+		Profile:       p,
+		Dataset:       Dataset{Name: s.Name + "-data", SizeMB: inputMB, SkewCV: s.SkewCV, CPUFactor: 1},
+		InputSizeMB:   inputMB,
+		ShuffleSizeMB: shuffleMB,
+		OutputSizeMB:  shuffleMB * s.ReduceSelectivity,
+		NumMaps:       s.Maps,
+		NumReduces:    s.Reduces,
+		Type:          classify(inputMB, shuffleMB, p),
+	}, nil
+}
+
+func defaultIfZero(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// classify applies the paper's three-way job typing heuristically.
+func classify(inputMB, shuffleMB float64, p Profile) JobType {
+	if inputMB == 0 || p.MapCPUPerMB > 0.03 || p.MapFixedCPUSecs > 0 {
+		return ComputeIntensive
+	}
+	if shuffleMB > inputMB*0.5 {
+		return ShuffleIntensive
+	}
+	return MapIntensive
+}
+
+// LoadBenchmark reads a BenchmarkSpec from a JSON file.
+func LoadBenchmark(path string) (Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("workload: read spec: %w", err)
+	}
+	return ParseBenchmark(data)
+}
+
+// ParseBenchmark decodes a BenchmarkSpec from JSON bytes.
+func ParseBenchmark(data []byte) (Benchmark, error) {
+	var s BenchmarkSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Benchmark{}, fmt.Errorf("workload: parse spec: %w", err)
+	}
+	return s.Benchmark()
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func validSpec() BenchmarkSpec {
+	return BenchmarkSpec{
+		Name: "sessionize", InputGB: 250, Maps: 1870, Reduces: 400,
+		MapCPUPerMB: 0.02, RawMapSelectivity: 0.9, CombinerReduction: 0.6,
+		ReduceSelectivity: 0.3, RecordBytes: 48,
+		MapWorkingSetMB: 220, ReduceWorkingSetMB: 260, SkewCV: 0.2,
+	}
+}
+
+func TestSpecToBenchmark(t *testing.T) {
+	b, err := validSpec().Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.InputSizeMB != 250*1024 {
+		t.Errorf("input = %v", b.InputSizeMB)
+	}
+	wantShuffle := 250 * 1024 * 0.9 * 0.6
+	if math.Abs(b.ShuffleSizeMB-wantShuffle) > 1e-6 {
+		t.Errorf("shuffle = %v, want %v", b.ShuffleSizeMB, wantShuffle)
+	}
+	if math.Abs(b.OutputSizeMB-wantShuffle*0.3) > 1e-6 {
+		t.Errorf("output = %v", b.OutputSizeMB)
+	}
+	if b.Profile.RecordBytes != 48e-6 {
+		t.Errorf("record bytes = %v MB, want 48e-6", b.Profile.RecordBytes)
+	}
+	if b.Type != ShuffleIntensive {
+		t.Errorf("type = %s, want Shuffle (0.54 selectivity)", b.Type)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []func(*BenchmarkSpec){
+		func(s *BenchmarkSpec) { s.Name = "" },
+		func(s *BenchmarkSpec) { s.Maps = 0 },
+		func(s *BenchmarkSpec) { s.Reduces = -1 },
+		func(s *BenchmarkSpec) { s.InputGB = -1 },
+		func(s *BenchmarkSpec) { s.RawMapSelectivity = 0 },
+		func(s *BenchmarkSpec) { s.CombinerReduction = 1.5 },
+		func(s *BenchmarkSpec) { s.ReduceSelectivity = -0.1 },
+		func(s *BenchmarkSpec) { s.RecordBytes = 0 },
+		func(s *BenchmarkSpec) { s.SkewCV = 2 },
+		func(s *BenchmarkSpec) { s.InputGB = 0; s.MapFixedCPUSecs = 0 },
+	}
+	for i, mutate := range cases {
+		s := validSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := validSpec()
+	s.CombinerReduction = 0 // means "no combiner"
+	s.SortCPUPerMB = 0
+	s.MapWorkingSetMB = 0
+	b, err := s.Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Profile.CombinerReduction != 1 {
+		t.Errorf("combiner default = %v, want 1", b.Profile.CombinerReduction)
+	}
+	if b.Profile.SortCPUPerMB != 0.003 {
+		t.Errorf("sort cpu default = %v", b.Profile.SortCPUPerMB)
+	}
+	if b.Profile.MapWorkingSetMB != 100 {
+		t.Errorf("map working set default = %v", b.Profile.MapWorkingSetMB)
+	}
+}
+
+func TestComputeOnlySpec(t *testing.T) {
+	s := BenchmarkSpec{Name: "pi", Maps: 50, Reduces: 1,
+		MapFixedCPUSecs: 30, RecordBytes: 50}
+	b, err := s.Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Type != ComputeIntensive {
+		t.Errorf("type = %s, want Compute", b.Type)
+	}
+}
+
+func TestLoadBenchmarkJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := `{
+	  "name": "sessionize", "input_gb": 250, "maps": 1870, "reduces": 400,
+	  "map_cpu_per_mb": 0.02, "raw_map_selectivity": 0.9,
+	  "combiner_reduction": 0.6, "reduce_selectivity": 0.3,
+	  "record_bytes": 48, "skew_cv": 0.2
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBenchmark(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "sessionize" || b.NumMaps != 1870 {
+		t.Fatalf("loaded wrong benchmark: %+v", b)
+	}
+	if _, err := LoadBenchmark(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := ParseBenchmark([]byte("{")); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+	if _, err := ParseBenchmark([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// FuzzParseBenchmark: arbitrary spec JSON must never panic, and every
+// accepted benchmark must be internally consistent.
+func FuzzParseBenchmark(f *testing.F) {
+	f.Add(`{"name":"x","maps":10,"reduces":2,"input_gb":1,"raw_map_selectivity":1,"record_bytes":50}`)
+	f.Add(`{"name":"pi","maps":5,"map_fixed_cpu_secs":10,"record_bytes":50}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		b, err := ParseBenchmark([]byte(data))
+		if err != nil {
+			return
+		}
+		if b.NumMaps <= 0 || b.Profile.RecordBytes <= 0 {
+			t.Fatalf("accepted inconsistent benchmark: %+v", b)
+		}
+		if b.InputSizeMB > 0 && b.ShuffleSizeMB <= 0 {
+			t.Fatalf("benchmark with input but no shuffle: %+v", b)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// The Table 3 suite is addressable by name; Terasort scales to any
+// size with the paper's task-count conventions.
+func ExampleByName() {
+	b, _ := workload.ByName("wordcount/Wikipedia")
+	fmt.Printf("%s: %.1f GB input, %d maps, %d reduces, %s\n",
+		b.Name, b.InputSizeMB/1024, b.NumMaps, b.NumReduces, b.Type)
+	ts := workload.Terasort(60, 0, 0)
+	fmt.Printf("%s: %d maps, %d reduces\n", ts.Name, ts.NumMaps, ts.NumReduces)
+	// Output:
+	// wordcount/Wikipedia: 90.5 GB input, 676 maps, 200 reduces, Map
+	// terasort/60GB: 448 maps, 112 reduces
+}
+
+// Custom applications come from JSON specs, so modelling a new job
+// needs no Go code.
+func ExampleParseBenchmark() {
+	b, err := workload.ParseBenchmark([]byte(`{
+		"name": "sessionize", "input_gb": 250, "maps": 1870, "reduces": 400,
+		"map_cpu_per_mb": 0.02, "raw_map_selectivity": 0.9,
+		"combiner_reduction": 0.6, "reduce_selectivity": 0.3,
+		"record_bytes": 48, "skew_cv": 0.2
+	}`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s shuffles %.1f GB (%s)\n", b.Name, b.ShuffleSizeMB/1024, b.Type)
+	// Output:
+	// sessionize shuffles 135.0 GB (Shuffle)
+}

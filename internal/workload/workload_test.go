@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTable3Sizes pins the suite to the paper's Table 3.
+func TestTable3Sizes(t *testing.T) {
+	type row struct {
+		name               string
+		inputMB, shuffleMB float64
+		maps, reduces      int
+		jt                 JobType
+	}
+	rows := []row{
+		{"bigram/Wikipedia", 90.5 * 1024, 80.8 * 1024, 676, 200, ShuffleIntensive},
+		{"invertedindex/Wikipedia", 90.5 * 1024, 38 * 1024, 676, 200, MapIntensive},
+		{"wordcount/Wikipedia", 90.5 * 1024, 30.3 * 1024, 676, 200, MapIntensive},
+		{"textsearch/Wikipedia", 90.5 * 1024, 2.3 * 1024, 676, 200, ComputeIntensive},
+		{"bigram/Freebase", 100.8 * 1024, 84.8 * 1024, 752, 200, ShuffleIntensive},
+		{"invertedindex/Freebase", 100.8 * 1024, 21 * 1024, 752, 200, ComputeIntensive},
+		{"wordcount/Freebase", 100.8 * 1024, 16.7 * 1024, 752, 200, MapIntensive},
+		{"textsearch/Freebase", 100.8 * 1024, 906, 752, 200, ComputeIntensive},
+		{"terasort/100GB", 100 * 1024, 100 * 1024, 752, 200, ShuffleIntensive},
+		{"bbp/500k", 0, 252.0 / 1024, 100, 1, ComputeIntensive},
+	}
+	suite := Suite()
+	if len(suite) != len(rows) {
+		t.Fatalf("suite has %d benchmarks, Table 3 has %d", len(suite), len(rows))
+	}
+	for i, want := range rows {
+		b := suite[i]
+		if b.Name != want.name {
+			t.Errorf("row %d name = %s, want %s", i, b.Name, want.name)
+			continue
+		}
+		if math.Abs(b.InputSizeMB-want.inputMB) > 0.5 {
+			t.Errorf("%s input = %v, want %v", b.Name, b.InputSizeMB, want.inputMB)
+		}
+		if math.Abs(b.ShuffleSizeMB-want.shuffleMB) > 0.5 {
+			t.Errorf("%s shuffle = %v, want %v", b.Name, b.ShuffleSizeMB, want.shuffleMB)
+		}
+		if b.NumMaps != want.maps || b.NumReduces != want.reduces {
+			t.Errorf("%s tasks = %d/%d, want %d/%d", b.Name, b.NumMaps, b.NumReduces, want.maps, want.reduces)
+		}
+		if b.Type != want.jt {
+			t.Errorf("%s type = %s, want %s", b.Name, b.Type, want.jt)
+		}
+	}
+}
+
+// TestSelectivityConsistency checks that the derived selectivities
+// regenerate the Table 3 volumes: input*raw*comb == shuffle and
+// shuffle*reduceSel == output.
+func TestSelectivityConsistency(t *testing.T) {
+	for _, b := range Suite() {
+		if b.InputSizeMB == 0 {
+			continue
+		}
+		shuffle := b.InputSizeMB * b.Profile.RawMapSelectivity * b.Profile.CombinerReduction
+		if math.Abs(shuffle-b.ShuffleSizeMB) > 1e-6*b.ShuffleSizeMB {
+			t.Errorf("%s: derived shuffle %v != table %v", b.Name, shuffle, b.ShuffleSizeMB)
+		}
+		output := b.ShuffleSizeMB * b.Profile.ReduceSelectivity
+		if math.Abs(output-b.OutputSizeMB) > 1e-6*math.Max(b.OutputSizeMB, 1) {
+			t.Errorf("%s: derived output %v != table %v", b.Name, output, b.OutputSizeMB)
+		}
+	}
+}
+
+func TestTerasortTaskCounts(t *testing.T) {
+	cases := map[int][2]int{ // paper §8.4: reducers ≈ maps/4
+		2:   {16, 4},
+		6:   {46, 11},
+		60:  {448, 112},
+		100: {752, 188},
+	}
+	for gb, want := range cases {
+		b := Terasort(gb, 0, 0)
+		if b.NumMaps != want[0] {
+			t.Errorf("terasort %dGB maps = %d, want %d", gb, b.NumMaps, want[0])
+		}
+		if b.NumReduces != want[1] {
+			t.Errorf("terasort %dGB reduces = %d, want %d", gb, b.NumReduces, want[1])
+		}
+	}
+	b := Terasort(100, 752, 200) // Table 3 row uses explicit 200 reducers
+	if b.NumReduces != 200 {
+		t.Errorf("explicit reducers ignored: %d", b.NumReduces)
+	}
+}
+
+func TestTerasortIdentitySelectivity(t *testing.T) {
+	b := Terasort(100, 0, 0)
+	p := b.Profile
+	if p.RawMapSelectivity*p.CombinerReduction != 1.0 {
+		t.Errorf("terasort map selectivity = %v, want 1",
+			p.RawMapSelectivity*p.CombinerReduction)
+	}
+	if p.ReduceSelectivity != 1.0 {
+		t.Errorf("terasort reduce selectivity = %v, want 1", p.ReduceSelectivity)
+	}
+}
+
+func TestBBPShape(t *testing.T) {
+	b := BBP(500000, 100)
+	if b.InputSizeMB != 0 || b.OutputSizeMB != 0 {
+		t.Errorf("BBP should have no input/output data")
+	}
+	if b.NumReduces != 1 {
+		t.Errorf("BBP reduces = %d, want 1", b.NumReduces)
+	}
+	if b.Profile.MapFixedCPUSecs <= 0 {
+		t.Error("BBP map tasks need fixed CPU cost")
+	}
+	double := BBP(1000000, 100)
+	if double.Profile.MapFixedCPUSecs <= b.Profile.MapFixedCPUSecs {
+		t.Error("BBP cost should grow with digits")
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("wordcount/Wikipedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Profile.Name != "wordcount" {
+		t.Fatalf("wrong profile %s", b.Profile.Name)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSplitsSkew(t *testing.T) {
+	b, _ := ByName("bigram/Freebase")
+	rng := sim.NewSource(7).Stream("splits")
+	splits := b.Splits(rng)
+	if len(splits) != b.NumMaps {
+		t.Fatalf("splits = %d, want %d", len(splits), b.NumMaps)
+	}
+	mean := 0.0
+	for _, s := range splits {
+		if s <= 0 {
+			t.Fatalf("non-positive split multiplier %v", s)
+		}
+		mean += s
+	}
+	mean /= float64(len(splits))
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("split multipliers mean = %v, want ~1", mean)
+	}
+	variance := 0.0
+	for _, s := range splits {
+		variance += (s - mean) * (s - mean)
+	}
+	cv := math.Sqrt(variance/float64(len(splits))) / mean
+	if cv < 0.1 || cv > 0.5 {
+		t.Fatalf("split CV = %v, want near %v", cv, b.Dataset.SkewCV)
+	}
+}
+
+func TestSplitSizeRealistic(t *testing.T) {
+	for _, b := range Suite() {
+		if b.InputSizeMB == 0 {
+			continue
+		}
+		s := b.SplitSizeMB()
+		if s < 100 || s > 160 {
+			t.Errorf("%s split size %v MB outside HDFS-plausible range", b.Name, s)
+		}
+	}
+}
+
+func TestPerTaskVolumes(t *testing.T) {
+	b := Terasort(100, 752, 200)
+	perMap := b.MapOutputMBPerTask()
+	if math.Abs(perMap-100*1024/752.0) > 0.01 {
+		t.Errorf("map output per task = %v", perMap)
+	}
+	perReduce := b.ReduceInputMBPerTask()
+	if math.Abs(perReduce-512) > 0.5 {
+		t.Errorf("reduce input per task = %v, want 512", perReduce)
+	}
+}

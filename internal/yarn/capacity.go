@@ -1,0 +1,120 @@
+package yarn
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// CapacityScheduler implements YARN's default scheduler: named queues
+// with guaranteed fractions of cluster memory, elastic up to a maximum
+// fraction when other queues are idle. Applications are mapped to
+// queues by name at submission (RegisterApp); unknown apps fall into
+// the default queue.
+type CapacityScheduler struct {
+	queues   []*Queue
+	byName   map[string]*Queue
+	appQueue map[string]string // app name -> queue name
+}
+
+// Queue is one capacity-scheduler queue.
+type Queue struct {
+	Name string
+	// Capacity is the guaranteed fraction of cluster memory.
+	Capacity float64
+	// MaxCapacity bounds elastic growth (0 = no bound).
+	MaxCapacity float64
+}
+
+// NewCapacityScheduler builds the scheduler. Queue capacities must sum
+// to (approximately) 1; a queue named "default" is required as the
+// fallback.
+func NewCapacityScheduler(queues []Queue) *CapacityScheduler {
+	if len(queues) == 0 {
+		panic("yarn: capacity scheduler needs at least one queue")
+	}
+	total := 0.0
+	s := &CapacityScheduler{
+		byName:   make(map[string]*Queue, len(queues)),
+		appQueue: make(map[string]string),
+	}
+	hasDefault := false
+	for i := range queues {
+		q := queues[i]
+		if q.Capacity <= 0 {
+			panic(fmt.Sprintf("yarn: queue %q needs positive capacity", q.Name))
+		}
+		if q.MaxCapacity == 0 {
+			q.MaxCapacity = 1
+		}
+		if q.MaxCapacity < q.Capacity {
+			panic(fmt.Sprintf("yarn: queue %q max capacity below guarantee", q.Name))
+		}
+		total += q.Capacity
+		s.queues = append(s.queues, &q)
+		s.byName[q.Name] = &q
+		if q.Name == "default" {
+			hasDefault = true
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		panic(fmt.Sprintf("yarn: queue capacities sum to %v, want 1", total))
+	}
+	if !hasDefault {
+		panic("yarn: capacity scheduler requires a 'default' queue")
+	}
+	return s
+}
+
+// RegisterApp maps an application name to a queue. Must be called
+// before the app's first request; unmapped apps use "default".
+func (s *CapacityScheduler) RegisterApp(appName, queueName string) {
+	if _, ok := s.byName[queueName]; !ok {
+		panic(fmt.Sprintf("yarn: unknown queue %q", queueName))
+	}
+	s.appQueue[appName] = queueName
+}
+
+// Name implements Scheduler.
+func (s *CapacityScheduler) Name() string { return "capacity" }
+
+func (s *CapacityScheduler) queueOf(app *App) *Queue {
+	if qn, ok := s.appQueue[app.Name]; ok {
+		return s.byName[qn]
+	}
+	return s.byName["default"]
+}
+
+// Pick implements Scheduler: among apps with fitting requests, serve
+// the one in the queue with the lowest used/guaranteed ratio, skipping
+// queues at their maximum capacity. Within a queue, FIFO.
+func (s *CapacityScheduler) Pick(apps []*App, node *cluster.Node) int {
+	if len(apps) == 0 {
+		return -1
+	}
+	totalMem := apps[0].rm.Cluster().TotalContainerMemMB()
+	usedBy := make(map[*Queue]float64, len(s.queues))
+	for _, app := range apps {
+		usedBy[s.queueOf(app)] += app.usedMemMB
+	}
+	best := -1
+	var bestRatio float64
+	for i, app := range apps {
+		if !app.hasFittingRequest(node) {
+			continue
+		}
+		q := s.queueOf(app)
+		used := usedBy[q]
+		if q.MaxCapacity < 1 && used >= q.MaxCapacity*totalMem {
+			continue // queue capped
+		}
+		ratio := used / (q.Capacity * totalMem)
+		if best == -1 || ratio < bestRatio {
+			best = i
+			bestRatio = ratio
+		}
+	}
+	return best
+}
+
+var _ Scheduler = (*CapacityScheduler)(nil)

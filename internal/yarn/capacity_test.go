@@ -1,0 +1,103 @@
+package yarn
+
+import (
+	"testing"
+)
+
+func twoQueueScheduler() *CapacityScheduler {
+	return NewCapacityScheduler([]Queue{
+		{Name: "prod", Capacity: 0.7},
+		{Name: "default", Capacity: 0.3},
+	})
+}
+
+func TestCapacitySchedulerValidation(t *testing.T) {
+	for _, bad := range [][]Queue{
+		{},
+		{{Name: "default", Capacity: 0.5}}, // sums to 0.5
+		{{Name: "a", Capacity: 1}},         // no default
+		{{Name: "default", Capacity: 0.5}, {Name: "b", Capacity: -0.5}}, // negative
+		{{Name: "default", Capacity: 1, MaxCapacity: 0.5}},              // max < guarantee
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid queue set %v accepted", bad)
+				}
+			}()
+			NewCapacityScheduler(bad)
+		}()
+	}
+}
+
+func TestCapacityGuaranteedShares(t *testing.T) {
+	sched := twoQueueScheduler()
+	eng, c, rm := newRM(t, sched)
+	prod := rm.Submit("prodjob", 1)
+	batch := rm.Submit("batchjob", 1)
+	sched.RegisterApp("prodjob", "prod")
+	// batchjob is unmapped -> default queue.
+	capacity := 6 * len(c.Nodes)
+	prodGot, batchGot := 0, 0
+	for i := 0; i < capacity; i++ {
+		prod.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1}, OnAllocate: func(*Container) { prodGot++ }})
+		batch.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1}, OnAllocate: func(*Container) { batchGot++ }})
+	}
+	eng.Run()
+	if prodGot+batchGot != capacity {
+		t.Fatalf("total = %d, want %d", prodGot+batchGot, capacity)
+	}
+	// Demand saturates both queues: the split should track 70/30.
+	wantProd := int(0.7 * float64(capacity))
+	if prodGot < wantProd-5 || prodGot > wantProd+5 {
+		t.Fatalf("prod got %d of %d, want ~%d (70%%)", prodGot, capacity, wantProd)
+	}
+}
+
+func TestCapacityElasticity(t *testing.T) {
+	// Only the default (30%) queue has demand: it may grow past its
+	// guarantee up to the whole cluster.
+	sched := twoQueueScheduler()
+	eng, c, rm := newRM(t, sched)
+	batch := rm.Submit("batchjob", 1)
+	capacity := 6 * len(c.Nodes)
+	got := 0
+	for i := 0; i < capacity; i++ {
+		batch.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1}, OnAllocate: func(*Container) { got++ }})
+	}
+	eng.Run()
+	if got != capacity {
+		t.Fatalf("idle-cluster elasticity: got %d of %d", got, capacity)
+	}
+}
+
+func TestCapacityMaxCap(t *testing.T) {
+	sched := NewCapacityScheduler([]Queue{
+		{Name: "capped", Capacity: 0.2, MaxCapacity: 0.25},
+		{Name: "default", Capacity: 0.8},
+	})
+	eng, c, rm := newRM(t, sched)
+	app := rm.Submit("job", 1)
+	sched.RegisterApp("job", "capped")
+	capacity := 6 * len(c.Nodes)
+	got := 0
+	for i := 0; i < capacity; i++ {
+		app.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1}, OnAllocate: func(*Container) { got++ }})
+	}
+	eng.Run()
+	// 25% of cluster memory = 27 containers of 1 GB.
+	want := int(0.25 * float64(capacity))
+	if got != want {
+		t.Fatalf("capped queue got %d containers, want %d", got, want)
+	}
+}
+
+func TestCapacityUnknownQueuePanics(t *testing.T) {
+	sched := twoQueueScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown queue accepted")
+		}
+	}()
+	sched.RegisterApp("x", "nope")
+}

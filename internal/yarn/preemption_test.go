@@ -1,0 +1,109 @@
+package yarn
+
+import (
+	"testing"
+)
+
+func TestPreemptionRescuesStarvedApp(t *testing.T) {
+	eng, c, rm := newRM(t, FairScheduler{})
+	rm.EnablePreemption(PreemptionConfig{CheckInterval: 5, StarvationFraction: 0.5, MaxKillsPerRound: 4})
+
+	capacity := 6 * len(c.Nodes)
+	hog := rm.Submit("hog", 1)
+	hogKilled := 0
+	for i := 0; i < capacity; i++ {
+		hog.Request(&Request{
+			Resource:   Resource{MemMB: 1024, VCores: 1},
+			OnAllocate: func(*Container) {},
+			OnPreempt:  func(*Container) { hogKilled++ },
+		})
+	}
+	eng.RunUntil(1) // hog owns the whole cluster
+
+	late := rm.Submit("late", 1)
+	lateGot := 0
+	for i := 0; i < 20; i++ {
+		late.Request(&Request{
+			Resource:   Resource{MemMB: 1024, VCores: 1},
+			OnAllocate: func(*Container) { lateGot++ },
+		})
+	}
+	eng.RunUntil(120)
+	if hogKilled == 0 {
+		t.Fatal("no containers preempted from the hog")
+	}
+	if lateGot == 0 {
+		t.Fatal("late app never received capacity")
+	}
+	if rm.Preemptions() != hogKilled {
+		t.Fatalf("Preemptions() = %d, callbacks = %d", rm.Preemptions(), hogKilled)
+	}
+	// Preemption must stop once the late app reaches its share region:
+	// it never kills below the victim's fair share (54 containers).
+	if hogKilled > capacity/2 {
+		t.Fatalf("preempted %d containers, beyond the victim's fair share excess", hogKilled)
+	}
+}
+
+func TestPreemptionIdleWhenFair(t *testing.T) {
+	eng, c, rm := newRM(t, FairScheduler{})
+	rm.EnablePreemption(DefaultPreemption())
+	a := rm.Submit("a", 1)
+	b := rm.Submit("b", 1)
+	capacity := 6 * len(c.Nodes)
+	killed := 0
+	onPreempt := func(*Container) { killed++ }
+	for i := 0; i < capacity/2; i++ {
+		a.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1}, OnAllocate: func(*Container) {}, OnPreempt: onPreempt})
+		b.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1}, OnAllocate: func(*Container) {}, OnPreempt: onPreempt})
+	}
+	eng.RunUntil(100)
+	if killed != 0 {
+		t.Fatalf("%d containers preempted in a balanced cluster", killed)
+	}
+}
+
+func TestPreemptionTickerStopsWhenAppsGone(t *testing.T) {
+	eng, _, rm := newRM(t, FairScheduler{})
+	rm.EnablePreemption(PreemptionConfig{CheckInterval: 5, StarvationFraction: 0.5, MaxKillsPerRound: 1})
+	app := rm.Submit("only", 1)
+	var cont *Container
+	app.Request(&Request{Resource: Resource{MemMB: 512, VCores: 1}, OnAllocate: func(c *Container) { cont = c }})
+	eng.RunUntil(6)
+	rm.Release(cont)
+	app.Finish()
+	eng.Run() // the queue must drain (ticker self-stops)
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events pending: preemption ticker leaked", eng.Pending())
+	}
+}
+
+func TestPreemptionRespectsWeights(t *testing.T) {
+	// The heavy app deserves 3/4 of the cluster; when it holds all of
+	// it and a light app arrives, preemption should stop near the
+	// weighted share, not at half.
+	eng, c, rm := newRM(t, FairScheduler{})
+	rm.EnablePreemption(PreemptionConfig{CheckInterval: 5, StarvationFraction: 0.9, MaxKillsPerRound: 8})
+	capacity := 6 * len(c.Nodes)
+	heavy := rm.Submit("heavy", 3)
+	killed := 0
+	for i := 0; i < capacity; i++ {
+		heavy.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1},
+			OnAllocate: func(*Container) {}, OnPreempt: func(*Container) { killed++ }})
+	}
+	eng.RunUntil(1)
+	light := rm.Submit("light", 1)
+	lightGot := 0
+	for i := 0; i < capacity; i++ {
+		light.Request(&Request{Resource: Resource{MemMB: 1024, VCores: 1},
+			OnAllocate: func(*Container) { lightGot++ }})
+	}
+	eng.RunUntil(300)
+	// Light's weighted share is 1/4 of capacity = 27 containers.
+	if killed > capacity/4+4 {
+		t.Fatalf("killed %d, far beyond the light app's weighted share", killed)
+	}
+	if lightGot == 0 {
+		t.Fatal("light app starved despite preemption")
+	}
+}

@@ -1,0 +1,55 @@
+package yarn
+
+import "repro/internal/cluster"
+
+// FIFOScheduler serves applications in submission order, like YARN's
+// capacity scheduler with a single queue.
+type FIFOScheduler struct{}
+
+// Name implements Scheduler.
+func (FIFOScheduler) Name() string { return "fifo" }
+
+// Pick implements Scheduler: the first app with a fitting request wins.
+func (FIFOScheduler) Pick(apps []*App, node *cluster.Node) int {
+	for i, app := range apps {
+		if app.hasFittingRequest(node) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FairScheduler serves the application with the smallest
+// weight-normalized memory share, YARN's fair share policy used in the
+// paper's multi-tenant experiment (§8.5).
+type FairScheduler struct{}
+
+// Name implements Scheduler.
+func (FairScheduler) Name() string { return "fair" }
+
+// Pick implements Scheduler.
+func (FairScheduler) Pick(apps []*App, node *cluster.Node) int {
+	best := -1
+	var bestShare float64
+	for i, app := range apps {
+		if !app.hasFittingRequest(node) {
+			continue
+		}
+		share := app.usedMemMB / app.Weight
+		if best == -1 || share < bestShare {
+			best = i
+			bestShare = share
+		}
+	}
+	return best
+}
+
+// hasFittingRequest reports whether any pending request fits node.
+func (a *App) hasFittingRequest(node *cluster.Node) bool {
+	for _, req := range a.pending {
+		if a.rm.fits(node, req.Resource) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,411 @@
+// Package yarn models the YARN resource management layer: a resource
+// manager tracking per-node capacity, applications submitting
+// container requests, and pluggable scheduling (FIFO and fair share).
+//
+// Following MRONLINE's system-level extension (paper §4), container
+// requests carry their own resource shape, so every task can run in a
+// different-sized container; the stock YARN restriction of one fixed
+// size per task type does not exist here.
+package yarn
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Resource is a container shape: memory plus virtual cores.
+type Resource struct {
+	MemMB  float64
+	VCores int
+}
+
+func (r Resource) String() string {
+	return fmt.Sprintf("<%gMB,%dvc>", r.MemMB, r.VCores)
+}
+
+// Container is an allocated slice of one node.
+type Container struct {
+	ID       int
+	Node     *cluster.Node
+	Resource Resource
+	App      *App
+	// OnPreempt is copied from the granting request.
+	OnPreempt func(*Container)
+	released  bool
+}
+
+// CoreCap returns the physical-core allowance of the container
+// (vcores × the node's core ratio), the cgroup-style CPU cap used by
+// compute flows.
+func (c *Container) CoreCap() float64 {
+	return float64(c.Resource.VCores) * c.Node.CoreRatio()
+}
+
+// Request asks for one container of a given shape. PreferredNodes
+// expresses data locality (the input split's replica holders); the
+// scheduler relaxes node-local → rack-local → off-rack.
+type Request struct {
+	Resource       Resource
+	PreferredNodes []*cluster.Node
+	// OnAllocate runs when a container is granted. It must eventually
+	// lead to Release.
+	OnAllocate func(*Container)
+	// OnPreempt, if set, is invoked when the resource manager preempts
+	// the granted container: stop its work; the RM releases it.
+	OnPreempt func(*Container)
+
+	app      *App
+	seq      int
+	index    int // position in the app's pending list
+	enqueued float64
+}
+
+// App is an application registered with the resource manager.
+type App struct {
+	ID     int
+	Name   string
+	Weight float64 // fair-share weight
+
+	rm        *ResourceManager
+	pending   []*Request
+	usedMemMB float64
+	usedVC    int
+	running   int
+	finished  bool
+}
+
+// UsedMemMB returns the memory currently allocated to the app.
+func (a *App) UsedMemMB() float64 { return a.usedMemMB }
+
+// Running returns the app's live container count.
+func (a *App) Running() int { return a.running }
+
+// Pending returns the number of unsatisfied requests.
+func (a *App) Pending() int { return len(a.pending) }
+
+// Scheduler picks which application gets the next free capacity.
+type Scheduler interface {
+	// Pick returns the index into apps of the application to serve
+	// next on node, or -1 if none should be served. Only apps with at
+	// least one pending request that fits the node are candidates.
+	Pick(apps []*App, node *cluster.Node) int
+	Name() string
+}
+
+// ResourceManager owns cluster capacity and runs the allocation loop.
+type ResourceManager struct {
+	eng   *sim.Engine
+	c     *cluster.Cluster
+	sched Scheduler
+
+	apps        []*App
+	nextAppID   int
+	nextContID  int
+	nextReqSeq  int
+	assignCur   int // round-robin node cursor
+	assigning   bool
+	shapeCounts map[Resource]int // the §4 "hash map" of container shapes
+	vcUsed      map[*cluster.Node]int
+	liveByApp   map[*App][]*Container
+	preemptions int
+	// SchedulingDelay adds latency between a container becoming
+	// available and the task launch, modelling heartbeat granularity.
+	SchedulingDelay float64
+	// RackDelay and OffRackDelay implement delay scheduling: a request
+	// with node preferences accepts a rack-local (resp. off-rack)
+	// placement only after waiting this long.
+	RackDelay    float64
+	OffRackDelay float64
+	// NodeFilter, when set, vetoes placements on nodes it rejects
+	// (MRONLINE's hot-spot avoidance: the tuner installs a filter that
+	// skips nodes with saturated disk or CPU). A request that has
+	// waited longer than HotSpotFallbackDelay may place on a filtered
+	// node anyway, so a fully hot cluster cannot starve.
+	NodeFilter           func(*cluster.Node) bool
+	HotSpotFallbackDelay float64
+}
+
+// NewResourceManager returns an RM over the cluster with the given
+// scheduling policy.
+func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *ResourceManager {
+	return &ResourceManager{
+		eng: eng, c: c, sched: sched,
+		shapeCounts:     make(map[Resource]int),
+		vcUsed:          make(map[*cluster.Node]int),
+		liveByApp:       make(map[*App][]*Container),
+		SchedulingDelay: 0.5,
+		RackDelay:       2,
+		OffRackDelay:    5,
+
+		HotSpotFallbackDelay: 15,
+	}
+}
+
+// Cluster returns the managed cluster.
+func (rm *ResourceManager) Cluster() *cluster.Cluster { return rm.c }
+
+// Engine returns the simulation engine.
+func (rm *ResourceManager) Engine() *sim.Engine { return rm.eng }
+
+// Submit registers a new application.
+func (rm *ResourceManager) Submit(name string, weight float64) *App {
+	if weight <= 0 {
+		weight = 1
+	}
+	app := &App{ID: rm.nextAppID, Name: name, Weight: weight, rm: rm}
+	rm.nextAppID++
+	rm.apps = append(rm.apps, app)
+	return app
+}
+
+// Finish deregisters the app. Outstanding requests are dropped;
+// containers must already have been released.
+func (a *App) Finish() {
+	if a.finished {
+		return
+	}
+	a.finished = true
+	a.pending = nil
+	apps := a.rm.apps[:0]
+	for _, app := range a.rm.apps {
+		if app != a {
+			apps = append(apps, app)
+		}
+	}
+	a.rm.apps = apps
+	a.rm.kick()
+}
+
+// Request enqueues a container request and triggers assignment.
+func (a *App) Request(req *Request) {
+	if a.finished {
+		panic(fmt.Sprintf("yarn: request on finished app %s", a.Name))
+	}
+	if req.Resource.MemMB <= 0 || req.Resource.VCores <= 0 {
+		panic(fmt.Sprintf("yarn: invalid container shape %v", req.Resource))
+	}
+	req.app = a
+	req.seq = a.rm.nextReqSeq
+	a.rm.nextReqSeq++
+	req.index = len(a.pending)
+	req.enqueued = a.rm.eng.Now()
+	a.pending = append(a.pending, req)
+	a.rm.kick()
+}
+
+// CancelRequest removes a not-yet-satisfied request.
+func (a *App) CancelRequest(req *Request) bool {
+	for i, r := range a.pending {
+		if r == req {
+			a.pending = append(a.pending[:i], a.pending[i+1:]...)
+			for j := i; j < len(a.pending); j++ {
+				a.pending[j].index = j
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Release frees a container's resources and re-runs assignment.
+func (rm *ResourceManager) Release(c *Container) {
+	if c.released {
+		panic(fmt.Sprintf("yarn: double release of container %d", c.ID))
+	}
+	c.released = true
+	c.Node.Mem.Release(c.Resource.MemMB)
+	rm.vcUsed[c.Node] -= c.Resource.VCores
+	live := rm.liveByApp[c.App]
+	for i, lc := range live {
+		if lc == c {
+			rm.liveByApp[c.App] = append(live[:i], live[i+1:]...)
+			break
+		}
+	}
+	c.App.usedMemMB -= c.Resource.MemMB
+	c.App.usedVC -= c.Resource.VCores
+	c.App.running--
+	rm.kick()
+}
+
+// ShapeCounts returns how many containers of each distinct resource
+// shape have been allocated, mirroring the paper's hash-map bookkeeping
+// for different-sized containers.
+func (rm *ResourceManager) ShapeCounts() map[Resource]int {
+	out := make(map[Resource]int, len(rm.shapeCounts))
+	for k, v := range rm.shapeCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// kick schedules an assignment pass; multiple kicks in one instant
+// coalesce.
+func (rm *ResourceManager) kick() {
+	if rm.assigning {
+		return
+	}
+	rm.assigning = true
+	rm.eng.After(0, func() {
+		rm.assigning = false
+		rm.assign()
+	})
+}
+
+// fits reports whether a request shape fits node's free capacity.
+// YARN accounts vcores logically; the cluster model enforces the CPU
+// cap physically via flow rate caps.
+func (rm *ResourceManager) fits(node *cluster.Node, r Resource) bool {
+	return node.Mem.CanAllocate(r.MemMB) && rm.vcUsed[node]+r.VCores <= node.VCores
+}
+
+// assign walks nodes round-robin, letting the scheduler pick an app
+// for each node with free capacity, until no more placements succeed.
+func (rm *ResourceManager) assign() {
+	n := len(rm.c.Nodes)
+	if n == 0 {
+		return
+	}
+	placedAny := false
+	pass := func(useFilter bool, minAge float64) {
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < n; i++ {
+				node := rm.c.Nodes[(rm.assignCur+i)%n]
+				if useFilter && rm.NodeFilter != nil && !rm.NodeFilter(node) {
+					continue
+				}
+				idx := rm.sched.Pick(rm.apps, node)
+				if idx < 0 {
+					continue
+				}
+				app := rm.apps[idx]
+				req := rm.selectRequest(app, node, minAge)
+				if req == nil {
+					continue
+				}
+				rm.place(app, req, node)
+				progress = true
+				placedAny = true
+			}
+			rm.assignCur = (rm.assignCur + 1) % n
+		}
+	}
+	pass(true, 0)
+	if !placedAny && rm.NodeFilter != nil && rm.hasPending() {
+		// Nothing placed on acceptable nodes: requests that have waited
+		// past the fallback delay may take a hot node rather than
+		// stall the job.
+		pass(false, rm.HotSpotFallbackDelay)
+	}
+	rm.scheduleRelaxRetry()
+}
+
+func (rm *ResourceManager) hasPending() bool {
+	for _, app := range rm.apps {
+		if len(app.pending) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleRelaxRetry arranges another assignment pass when a pending
+// locality-restricted request's delay-scheduling timer next expires;
+// without it a request could wait for a release forever even though
+// relaxation would let it place off-node.
+func (rm *ResourceManager) scheduleRelaxRetry() {
+	now := rm.eng.Now()
+	earliest := -1.0
+	for _, app := range rm.apps {
+		for _, req := range app.pending {
+			expiries := []float64{}
+			if len(req.PreferredNodes) > 0 {
+				expiries = append(expiries, req.enqueued+rm.RackDelay, req.enqueued+rm.OffRackDelay)
+			}
+			if rm.NodeFilter != nil {
+				expiries = append(expiries, req.enqueued+rm.HotSpotFallbackDelay)
+			}
+			for _, expiry := range expiries {
+				if expiry > now && (earliest < 0 || expiry < earliest) {
+					earliest = expiry
+				}
+			}
+		}
+	}
+	if earliest > now {
+		rm.eng.At(earliest, func() { rm.kick() })
+	}
+}
+
+// selectRequest picks the app's best pending request for the node:
+// node-local first; rack-local and off-rack placements are accepted
+// only after the request has waited past the delay-scheduling
+// thresholds.
+func (rm *ResourceManager) selectRequest(app *App, node *cluster.Node, minAge float64) *Request {
+	now := rm.eng.Now()
+	var rackLocal, relaxed, unconstrained *Request
+	for _, req := range app.pending {
+		if !rm.fits(node, req.Resource) {
+			continue
+		}
+		if minAge > 0 && now-req.enqueued < minAge {
+			continue
+		}
+		if len(req.PreferredNodes) == 0 {
+			if unconstrained == nil {
+				unconstrained = req
+			}
+			continue
+		}
+		waited := now - req.enqueued
+		sameRack := false
+		for _, pref := range req.PreferredNodes {
+			if pref == node {
+				return req
+			}
+			if pref.Rack == node.Rack {
+				sameRack = true
+			}
+		}
+		if sameRack && waited >= rm.RackDelay && rackLocal == nil {
+			rackLocal = req
+		}
+		if waited >= rm.OffRackDelay && relaxed == nil {
+			relaxed = req
+		}
+	}
+	if rackLocal != nil {
+		return rackLocal
+	}
+	if relaxed != nil {
+		return relaxed
+	}
+	return unconstrained
+}
+
+func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
+	if err := node.Mem.Allocate(req.Resource.MemMB); err != nil {
+		panic(fmt.Sprintf("yarn: placement race: %v", err))
+	}
+	rm.vcUsed[node] += req.Resource.VCores
+	if !app.CancelRequest(req) {
+		panic("yarn: placed request not pending")
+	}
+	cont := &Container{ID: rm.nextContID, Node: node, Resource: req.Resource, App: app, OnPreempt: req.OnPreempt}
+	rm.nextContID++
+	rm.liveByApp[app] = append(rm.liveByApp[app], cont)
+	app.usedMemMB += req.Resource.MemMB
+	app.usedVC += req.Resource.VCores
+	app.running++
+	rm.shapeCounts[req.Resource]++
+	delay := rm.SchedulingDelay
+	rm.eng.After(delay, func() {
+		if req.OnAllocate != nil {
+			req.OnAllocate(cont)
+		}
+	})
+}
