@@ -1,14 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench cover report figures examples vet
+.PHONY: all build test test-short bench cover report figures examples vet lint
 
-all: build vet test
+all: build lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static analysis: go vet plus the project's determinism and
+# simulation-safety analyzers (see docs/LINTING.md).
+lint: vet
+	go run ./cmd/mrlint ./...
 
 test:
 	go test ./...
@@ -17,7 +22,11 @@ test-short:
 	go test -short ./...
 
 bench:
-	go test -bench=. -benchmem -benchtime=1x -run='^$$' .
+	@if ls *_test.go >/dev/null 2>&1; then \
+		go test -bench=. -benchmem -benchtime=1x -run='^$$' . ; \
+	else \
+		echo "bench: no benchmark files in module root; skipping" ; \
+	fi
 
 cover:
 	go test ./internal/... -coverprofile=cover.out

@@ -1,0 +1,90 @@
+// Command mrlint runs the project's determinism and simulation-safety
+// static analyzers (internal/lint) over the whole module and reports
+// violations as file:line:col: [rule] message.
+//
+// Usage:
+//
+//	go run ./cmd/mrlint ./...
+//	go run ./cmd/mrlint -rules no-wallclock,ordered-map-iter ./...
+//	go run ./cmd/mrlint -json ./... > findings.json
+//	go run ./cmd/mrlint -C internal/lint/testdata/badmod ./...
+//
+// The package patterns are accepted for familiarity but mrlint always
+// analyzes the entire module containing the working directory (or the
+// -C directory): determinism invariants are module-wide properties.
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on load
+// or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		rules   = flag.String("rules", "", "comma-separated rules to run (default: all)")
+		chdir   = flag.String("C", ".", "directory whose module to analyze")
+		list    = flag.Bool("list", false, "list available rules and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrlint:", err)
+		return 2
+	}
+
+	root, err := lint.FindModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrlint:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrlint:", err)
+		return 2
+	}
+
+	findings := mod.Run(analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mrlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "mrlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -66,7 +66,10 @@ func main() {
 		def.Counters.SpilledRecords(), tuned.Counters.SpilledRecords(),
 		tuned.Counters.CombineOutputRecs)
 	fmt.Println("\ntuned configuration:")
-	for name, v := range cfg.Overrides() {
-		fmt.Printf("  %-52s %g\n", name, v)
+	overrides := cfg.Overrides()
+	for _, p := range mrconf.Params() {
+		if v, ok := overrides[p.Name]; ok {
+			fmt.Printf("  %-52s %g\n", p.Name, v)
+		}
 	}
 }

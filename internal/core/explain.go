@@ -44,9 +44,13 @@ func (t *Tuner) Explain() string {
 		fmt.Fprintf(&b, "search: map scope %s (%d waves), reduce scope %s (%d waves)\n",
 			searchStateString(t.mapSearch), t.mapWaves,
 			searchStateString(t.reduceSearch), t.redWaves)
-		for name, s := range map[string]*hillClimb{"map": t.mapSearch, "reduce": t.reduceSearch} {
-			if _, cost, ok := s.Best(); ok {
-				fmt.Fprintf(&b, "  best %s-scope point: Eq.1 cost %.3f\n", name, cost)
+		scopes := []struct {
+			name   string
+			search *hillClimb
+		}{{"map", t.mapSearch}, {"reduce", t.reduceSearch}}
+		for _, sc := range scopes {
+			if _, cost, ok := sc.search.Best(); ok {
+				fmt.Fprintf(&b, "  best %s-scope point: Eq.1 cost %.3f\n", sc.name, cost)
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ConfKeyAnalyzer implements the conf-key-literal rule: string literals
+// passed to mrconf.Config.Get / Config.With must match a canonical
+// parameter-name constant declared in internal/mrconf/params.go.
+// Config.Get panics on unknown names, but only at runtime and only on
+// the paths a test happens to exercise; the linter catches the typo at
+// review time. Passing the named constant (mrconf.IOSortMB, ...) is the
+// preferred style and a literal that exactly matches a registered name
+// is tolerated.
+var ConfKeyAnalyzer = &Analyzer{
+	Name: "conf-key-literal",
+	Doc:  "flag string literals passed to mrconf Config.Get/With that match no registered parameter",
+	Run:  runConfKey,
+}
+
+// confKeyMethods are the Config methods whose first argument is a
+// parameter name.
+var confKeyMethods = map[string]bool{"Get": true, "With": true}
+
+func runConfKey(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !confKeyMethods[sel.Sel.Name] {
+				return true
+			}
+			fn := p.funcFor(sel)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !recvIsMrconfConfig(sig) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			key, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if p.ConfKeys[key] {
+				return true
+			}
+			p.Report("conf-key-literal", lit.Pos(),
+				"%q is not a parameter constant declared in internal/mrconf/params.go; use the named constant (typo?)", key)
+			return true
+		})
+	}
+}
+
+// recvIsMrconfConfig reports whether the method receiver is the Config
+// type of an internal/mrconf package (suffix-matched so test fixtures
+// qualify too).
+func recvIsMrconfConfig(sig *types.Signature) bool {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Config" && pathHasSuffix(named.Obj().Pkg().Path(), "internal/mrconf")
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandExempt names the one file allowed to touch math/rand
+// package-level state: the seeded-stream factory. (It doesn't, today —
+// it only calls rand.New — but it is the sanctioned gateway.)
+const globalRandExempt = "internal/sim/rng.go"
+
+// randConstructors create explicitly-seeded generators; they are the
+// approved pattern, not a violation.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// GlobalRandAnalyzer implements the no-global-rand rule: package-level
+// math/rand draws use a process-global, implicitly seeded source, so
+// their output depends on what every other goroutine has drawn —
+// irreproducible by construction. All randomness must flow through an
+// explicitly seeded *rand.Rand (see internal/sim.Source).
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "no-global-rand",
+	Doc:  "forbid package-level math/rand functions; use an explicitly seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, file := range p.Files {
+		if p.RelFile(file.Pos()) == globalRandExempt {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := p.funcFor(sel)
+			if fn == nil {
+				return true
+			}
+			if path := pkgPath(fn); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand / *rand.Zipf carry a receiver: those
+			// are the explicitly seeded instances the rule steers toward.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			p.Report("no-global-rand", sel.Pos(),
+				"package-level rand.%s draws from the implicitly seeded global source; use an explicitly seeded *rand.Rand (sim.Source) instead", fn.Name())
+			return true
+		})
+	}
+}

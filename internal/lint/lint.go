@@ -1,0 +1,264 @@
+// Package lint implements mrlint, the project's determinism and
+// simulation-safety static analysis suite. It is built on the standard
+// library only (go/ast, go/parser, go/token, go/types): the build
+// environment is offline and the module carries zero dependencies.
+//
+// The analyzers lock in the invariants that make every simulation
+// bit-for-bit reproducible (see docs/LINTING.md):
+//
+//	no-wallclock       real time never leaks into simulated components
+//	no-global-rand     all randomness flows through seeded *rand.Rand
+//	ordered-map-iter   map iteration order never reaches output/events
+//	conf-key-literal   Hadoop parameter names come from mrconf constants
+//	mutex-copy         sync.Mutex / sync.WaitGroup never passed by value
+//
+// Any finding can be suppressed — with a recorded reason — by a
+// directive comment on the offending line or on the line directly
+// above it:
+//
+//	//mrlint:ignore <rule>[,<rule>...] <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File    string `json:"file"` // module-root-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		GlobalRandAnalyzer,
+		MapIterAnalyzer,
+		ConfKeyAnalyzer,
+		MutexCopyAnalyzer,
+	}
+}
+
+// Select returns the analyzers whose names appear in the comma-separated
+// list. An empty list selects all.
+func Select(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RuleNames lists every analyzer name.
+func RuleNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Pass carries one type-checked package through the analyzers.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// ModuleRoot is the absolute directory of the module under
+	// analysis; findings report paths relative to it.
+	ModuleRoot string
+
+	// ConfKeys holds the canonical Hadoop parameter names: the values
+	// of the string constants declared in internal/mrconf. The loader
+	// populates it after checking that package.
+	ConfKeys map[string]bool
+
+	ignores  map[string]map[int]map[string]bool // file -> line -> rule set
+	findings *[]Finding
+}
+
+// NewPass assembles a pass and indexes its ignore directives.
+func NewPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, moduleRoot string, sink *[]Finding) *Pass {
+	p := &Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ModuleRoot: moduleRoot,
+		findings:   sink,
+		ignores:    make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p.indexDirective(c)
+			}
+		}
+	}
+	return p
+}
+
+const directivePrefix = "//mrlint:ignore"
+
+func (p *Pass) indexDirective(c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	// Require a space (or end) after the prefix so "//mrlint:ignorex"
+	// is not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return // malformed: no rule named; never silently ignore everything
+	}
+	pos := p.Fset.Position(c.Pos())
+	byLine := p.ignores[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		p.ignores[pos.Filename] = byLine
+	}
+	for _, rule := range strings.Split(fields[0], ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" {
+			continue
+		}
+		// The directive covers its own line and the line below, so it
+		// works both trailing the offending code and on its own line
+		// above it.
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			if byLine[line] == nil {
+				byLine[line] = make(map[string]bool)
+			}
+			byLine[line][rule] = true
+		}
+	}
+}
+
+// Ignored reports whether findings for rule at pos are suppressed by an
+// ignore directive.
+func (p *Pass) Ignored(rule string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.ignores[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[position.Line][rule]
+}
+
+// Rel converts an absolute file name to a module-root-relative path.
+func (p *Pass) Rel(file string) string {
+	if rel, err := filepath.Rel(p.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// RelFile returns the module-relative path of the file containing pos.
+func (p *Pass) RelFile(pos token.Pos) string {
+	return p.Rel(p.Fset.Position(pos).Filename)
+}
+
+// Report records a finding unless an ignore directive covers it.
+func (p *Pass) Report(rule string, pos token.Pos, format string, args ...any) {
+	if p.Ignored(rule, pos) {
+		return
+	}
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:    p.Rel(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// SortFindings orders findings by file, line, column, then rule, so
+// output is stable across runs.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// funcFor resolves an identifier or selector use to the *types.Func it
+// denotes, or nil.
+func (p *Pass) funcFor(expr ast.Expr) *types.Func {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.ParenExpr:
+		return p.funcFor(e.X)
+	}
+	return nil
+}
+
+// pkgPath returns the import path of the package a function belongs to
+// ("" for builtins and universe-scope objects).
+func pkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

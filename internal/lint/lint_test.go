@@ -1,0 +1,615 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintFiles writes the given files into a temporary module, loads it
+// with the production loader, and runs the selected rules (all when
+// rules is empty).
+func lintFiles(t *testing.T, rules string, files map[string]string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	analyzers, err := Select(rules)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", rules, err)
+	}
+	return mod.Run(analyzers)
+}
+
+func countRule(fs []Finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// miniMrconf gives the conf-key-literal analyzer a Config type and one
+// registered constant to resolve against.
+const miniMrconf = `package mrconf
+
+const IOSortMB = "mapreduce.task.io.sort.mb"
+
+type Config struct{ v float64 }
+
+func (c Config) Get(name string) float64           { return c.v }
+func (c Config) With(name string, v float64) Config { return Config{v: v} }
+`
+
+// miniSim gives the ordered-map-iter analyzer an Engine with scheduler
+// methods.
+const miniSim = `package sim
+
+type Engine struct{ n int }
+
+func (e *Engine) After(d float64, fn func()) { e.n++ }
+func (e *Engine) At(t float64, fn func())    { e.n++ }
+`
+
+func TestAnalyzersTableDriven(t *testing.T) {
+	cases := []struct {
+		name  string
+		rule  string
+		file  string // path inside the fixture module
+		src   string
+		extra map[string]string // additional support files
+		want  int               // findings expected for rule
+	}{
+		// ---- no-wallclock ----
+		{
+			name: "wallclock positive time.Now",
+			rule: "no-wallclock",
+			file: "internal/x/x.go",
+			src: `package x
+import "time"
+func Now() int64 { return time.Now().UnixNano() }
+`,
+			want: 1,
+		},
+		{
+			name: "wallclock positive Sleep and Since",
+			rule: "no-wallclock",
+			file: "cmd/tool/main.go",
+			src: `package main
+import "time"
+func main() {
+	t := time.Now()
+	time.Sleep(time.Second)
+	_ = time.Since(t)
+}
+`,
+			want: 3,
+		},
+		{
+			name: "wallclock negative duration arithmetic ok",
+			rule: "no-wallclock",
+			file: "internal/x/x.go",
+			src: `package x
+import "time"
+func D() time.Duration { return 3 * time.Second }
+`,
+			want: 0,
+		},
+		{
+			name: "wallclock negative outside internal and cmd",
+			rule: "no-wallclock",
+			file: "examples/demo/main.go",
+			src: `package main
+import "time"
+func main() { _ = time.Now() }
+`,
+			want: 0,
+		},
+		{
+			name: "wallclock negative test file",
+			rule: "no-wallclock",
+			file: "internal/x/x_test.go",
+			src: `package x
+import (
+	"testing"
+	"time"
+)
+func TestReal(t *testing.T) { _ = time.Now() }
+`,
+			extra: map[string]string{"internal/x/x.go": "package x\n"},
+			want:  0,
+		},
+		{
+			name: "wallclock ignore directive same line",
+			rule: "no-wallclock",
+			file: "internal/x/x.go",
+			src: `package x
+import "time"
+func Now() int64 { return time.Now().UnixNano() } //mrlint:ignore no-wallclock process startup stamp
+`,
+			want: 0,
+		},
+		{
+			name: "wallclock ignore directive line above",
+			rule: "no-wallclock",
+			file: "internal/x/x.go",
+			src: `package x
+import "time"
+func Now() int64 {
+	//mrlint:ignore no-wallclock process startup stamp
+	return time.Now().UnixNano()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "wallclock directive for other rule does not suppress",
+			rule: "no-wallclock",
+			file: "internal/x/x.go",
+			src: `package x
+import "time"
+func Now() int64 { return time.Now().UnixNano() } //mrlint:ignore no-global-rand wrong rule
+`,
+			want: 1,
+		},
+
+		// ---- no-global-rand ----
+		{
+			name: "globalrand positive Float64",
+			rule: "no-global-rand",
+			file: "internal/x/x.go",
+			src: `package x
+import "math/rand"
+func F() float64 { return rand.Float64() }
+`,
+			want: 1,
+		},
+		{
+			name: "globalrand positive in test file too",
+			rule: "no-global-rand",
+			file: "internal/x/x_test.go",
+			src: `package x
+import (
+	"math/rand"
+	"testing"
+)
+func TestF(t *testing.T) { _ = rand.Intn(5) }
+`,
+			extra: map[string]string{"internal/x/x.go": "package x\n"},
+			want:  1,
+		},
+		{
+			name: "globalrand negative seeded instance",
+			rule: "no-global-rand",
+			file: "internal/x/x.go",
+			src: `package x
+import "math/rand"
+func F(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "globalrand negative exempt rng.go",
+			rule: "no-global-rand",
+			file: "internal/sim/rng.go",
+			src: `package sim
+import "math/rand"
+func F() float64 { return rand.Float64() }
+`,
+			want: 0,
+		},
+		{
+			name: "globalrand ignore directive",
+			rule: "no-global-rand",
+			file: "internal/x/x.go",
+			src: `package x
+import "math/rand"
+func F() float64 { return rand.Float64() } //mrlint:ignore no-global-rand demo only
+`,
+			want: 0,
+		},
+
+		// ---- ordered-map-iter ----
+		{
+			name: "mapiter positive append unsorted",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`,
+			want: 1,
+		},
+		{
+			name: "mapiter positive output",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+import "fmt"
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+			want: 1,
+		},
+		{
+			name: "mapiter positive builder write",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+import "strings"
+func Dump(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`,
+			want: 1,
+		},
+		{
+			name: "mapiter positive sim scheduling",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+import "fixture/internal/sim"
+func Schedule(e *sim.Engine, m map[string]float64) {
+	for _, d := range m {
+		e.After(d, func() {})
+	}
+}
+`,
+			extra: map[string]string{"internal/sim/engine.go": miniSim},
+			want:  1,
+		},
+		{
+			name: "mapiter negative collect then sort",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+import "sort"
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`,
+			want: 0,
+		},
+		{
+			name: "mapiter negative sort.Slice",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+import "sort"
+func Vals(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+`,
+			want: 0,
+		},
+		{
+			name: "mapiter negative order-insensitive aggregation",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+			want: 0,
+		},
+		{
+			name: "mapiter negative map-to-map copy",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "mapiter negative range over slice",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+import "fmt"
+func Dump(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "mapiter ignore directive",
+			rule: "ordered-map-iter",
+			file: "internal/x/x.go",
+			src: `package x
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //mrlint:ignore ordered-map-iter order irrelevant, set semantics
+	}
+	return keys
+}
+`,
+			want: 0,
+		},
+
+		// ---- conf-key-literal ----
+		{
+			name: "confkey positive typo in Get",
+			rule: "conf-key-literal",
+			file: "internal/x/x.go",
+			src: `package x
+import "fixture/internal/mrconf"
+func F(c mrconf.Config) float64 { return c.Get("mapreduce.task.io.sortt.mb") }
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  1,
+		},
+		{
+			name: "confkey positive typo in With",
+			rule: "conf-key-literal",
+			file: "internal/x/x.go",
+			src: `package x
+import "fixture/internal/mrconf"
+func F(c mrconf.Config) mrconf.Config { return c.With("mapreduce.map.sort.mb", 1) }
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  1,
+		},
+		{
+			name: "confkey negative registered literal",
+			rule: "conf-key-literal",
+			file: "internal/x/x.go",
+			src: `package x
+import "fixture/internal/mrconf"
+func F(c mrconf.Config) float64 { return c.Get("mapreduce.task.io.sort.mb") }
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "confkey negative named constant",
+			rule: "conf-key-literal",
+			file: "internal/x/x.go",
+			src: `package x
+import "fixture/internal/mrconf"
+func F(c mrconf.Config) float64 { return c.Get(mrconf.IOSortMB) }
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "confkey negative unrelated Get method",
+			rule: "conf-key-literal",
+			file: "internal/x/x.go",
+			src: `package x
+type KB struct{}
+func (KB) Get(key string) (float64, bool) { return 0, false }
+func F(kb KB) { kb.Get("anything") }
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "confkey ignore directive",
+			rule: "conf-key-literal",
+			file: "internal/x/x.go",
+			src: `package x
+import "fixture/internal/mrconf"
+func F(c mrconf.Config) float64 {
+	//mrlint:ignore conf-key-literal deliberately unknown key for a panic test
+	return c.Get("mapreduce.no.such.parameter")
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+
+		// ---- mutex-copy ----
+		{
+			name: "mutexcopy positive parameter",
+			rule: "mutex-copy",
+			file: "internal/x/x.go",
+			src: `package x
+import "sync"
+func F(mu sync.Mutex) { mu.Lock() }
+`,
+			want: 1,
+		},
+		{
+			name: "mutexcopy positive waitgroup and receiver",
+			rule: "mutex-copy",
+			file: "internal/x/x.go",
+			src: `package x
+import "sync"
+type S struct{ mu sync.Mutex }
+func (s S) Wait(wg sync.WaitGroup) { wg.Wait() }
+`,
+			want: 1, // the wg parameter; value receiver S embeds, not is, a Mutex
+		},
+		{
+			name: "mutexcopy positive func literal",
+			rule: "mutex-copy",
+			file: "internal/x/x.go",
+			src: `package x
+import "sync"
+var F = func(wg sync.WaitGroup) { wg.Wait() }
+`,
+			want: 1,
+		},
+		{
+			name: "mutexcopy negative pointers",
+			rule: "mutex-copy",
+			file: "internal/x/x.go",
+			src: `package x
+import "sync"
+func F(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "mutexcopy ignore directive",
+			rule: "mutex-copy",
+			file: "internal/x/x.go",
+			src: `package x
+import "sync"
+func F(mu sync.Mutex) { mu.Lock() } //mrlint:ignore mutex-copy demo of a broken pattern
+`,
+			want: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{tc.file: tc.src}
+			for name, src := range tc.extra {
+				files[name] = src
+			}
+			findings := lintFiles(t, tc.rule, files)
+			if got := countRule(findings, tc.rule); got != tc.want {
+				t.Errorf("got %d findings for %s, want %d\nall findings: %v",
+					got, tc.rule, tc.want, findings)
+			}
+		})
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+	two, err := Select("no-wallclock, mutex-copy")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select two = %d, err %v", len(two), err)
+	}
+	if _, err := Select("no-such-rule"); err == nil {
+		t.Fatal("Select of unknown rule did not error")
+	}
+}
+
+func TestFindingStringFormat(t *testing.T) {
+	f := Finding{File: "internal/x/x.go", Line: 3, Col: 7, Rule: "no-wallclock", Message: "msg"}
+	want := "internal/x/x.go:3:7: [no-wallclock] msg"
+	if f.String() != want {
+		t.Fatalf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+func TestMalformedDirectiveDoesNotSuppress(t *testing.T) {
+	// A bare //mrlint:ignore with no rule must not become a blanket
+	// suppression.
+	findings := lintFiles(t, "no-wallclock", map[string]string{
+		"internal/x/x.go": `package x
+import "time"
+func Now() int64 { return time.Now().UnixNano() } //mrlint:ignore
+`,
+	})
+	if countRule(findings, "no-wallclock") != 1 {
+		t.Fatalf("malformed directive suppressed the finding: %v", findings)
+	}
+}
+
+func TestSortFindingsStable(t *testing.T) {
+	fs := []Finding{
+		{File: "b.go", Line: 1, Rule: "r"},
+		{File: "a.go", Line: 9, Rule: "r"},
+		{File: "a.go", Line: 2, Rule: "r"},
+	}
+	SortFindings(fs)
+	if fs[0].File != "a.go" || fs[0].Line != 2 || fs[2].File != "b.go" {
+		t.Fatalf("unexpected order: %v", fs)
+	}
+}
+
+func TestExternalTestPackagesAreLinted(t *testing.T) {
+	findings := lintFiles(t, "no-global-rand", map[string]string{
+		"internal/x/x.go": "package x\nfunc X() int { return 1 }\n",
+		"internal/x/ext_test.go": `package x_test
+import (
+	"math/rand"
+	"testing"
+
+	"fixture/internal/x"
+)
+func TestX(t *testing.T) {
+	if x.X() != 1 {
+		t.Fatal(rand.Intn(2))
+	}
+}
+`,
+	})
+	if countRule(findings, "no-global-rand") != 1 {
+		t.Fatalf("external test package not linted: %v", findings)
+	}
+}
+
+func TestModuleRootRelativePaths(t *testing.T) {
+	findings := lintFiles(t, "mutex-copy", map[string]string{
+		"internal/x/x.go": `package x
+import "sync"
+func F(mu sync.Mutex) { mu.Lock() }
+`,
+	})
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	if f := findings[0]; f.File != "internal/x/x.go" || strings.Contains(f.File, "..") {
+		t.Fatalf("finding path not module-relative: %q", f.File)
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// copySensitiveSyncTypes are the sync primitives whose value semantics
+// break when copied: a copied Mutex is a different lock, a copied
+// WaitGroup a different counter. The experiments fan-out worker pool
+// relies on the one true WaitGroup being shared.
+var copySensitiveSyncTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Pool":      true,
+	"Map":       true,
+}
+
+// MutexCopyAnalyzer implements the mutex-copy rule: functions (and
+// methods, via their receiver) must not take sync.Mutex, sync.WaitGroup
+// and friends by value.
+var MutexCopyAnalyzer = &Analyzer{
+	Name: "mutex-copy",
+	Doc:  "flag parameters and receivers that take sync.Mutex/sync.WaitGroup etc. by value",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var recv *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, recv = fn.Type, fn.Recv
+			case *ast.FuncLit:
+				ftype = fn.Type
+			default:
+				return true
+			}
+			checkFieldList(p, recv, "receiver")
+			checkFieldList(p, ftype.Params, "parameter")
+			return true
+		})
+	}
+}
+
+func checkFieldList(p *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		name := syncValueTypeName(t)
+		if name == "" {
+			continue
+		}
+		p.Report("mutex-copy", field.Pos(),
+			"sync.%s %s passed by value copies the lock/counter state; pass *sync.%s", name, kind, name)
+	}
+}
+
+// syncValueTypeName returns the sync type name when t is one of the
+// copy-sensitive sync types by value (not behind a pointer), else "".
+func syncValueTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || !copySensitiveSyncTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}

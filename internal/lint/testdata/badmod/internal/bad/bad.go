@@ -1,0 +1,53 @@
+// Package bad contains exactly one violation of every mrlint rule; the
+// integration test asserts each is reported, and `go run ./cmd/mrlint
+// -C internal/lint/testdata/badmod ./...` demonstrates the non-zero
+// exit on a dirty tree.
+package bad
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"badmod/internal/mrconf"
+	"badmod/internal/sim"
+)
+
+// Wallclock violates no-wallclock.
+func Wallclock() float64 {
+	return float64(time.Now().UnixNano()) // want no-wallclock
+}
+
+// GlobalRand violates no-global-rand.
+func GlobalRand() float64 {
+	return rand.Float64() // want no-global-rand
+}
+
+// UnsortedIter violates ordered-map-iter: the append target is never
+// sorted.
+func UnsortedIter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want ordered-map-iter
+	}
+	return keys
+}
+
+// ScheduleFromMap violates ordered-map-iter via event scheduling.
+func ScheduleFromMap(e *sim.Engine, m map[string]float64) {
+	for _, d := range m {
+		e.After(d, func() {}) // want ordered-map-iter
+	}
+}
+
+// TypoKey violates conf-key-literal ("sortt").
+func TypoKey(c mrconf.Config) float64 {
+	return c.Get("mapreduce.task.io.sortt.mb") // want conf-key-literal
+}
+
+// LockByValue violates mutex-copy.
+func LockByValue(mu sync.Mutex, wg sync.WaitGroup) { // want mutex-copy
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait()
+}

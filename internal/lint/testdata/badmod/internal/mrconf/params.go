@@ -1,0 +1,16 @@
+// Package mrconf is a miniature stand-in for the real configuration
+// package, so the fixture exercises the conf-key-literal analyzer
+// without importing across module boundaries.
+package mrconf
+
+// IOSortMB is the one registered parameter name.
+const IOSortMB = "mapreduce.task.io.sort.mb"
+
+// Config mimics the real immutable configuration value.
+type Config struct{ v float64 }
+
+// Get returns the value for a registered parameter name.
+func (c Config) Get(name string) float64 { return c.v }
+
+// With returns a copy with the parameter set.
+func (c Config) With(name string, v float64) Config { return Config{v: v} }

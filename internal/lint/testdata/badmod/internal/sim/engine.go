@@ -1,0 +1,10 @@
+// Package sim is a miniature stand-in for the real discrete-event
+// engine, just enough surface for the ordered-map-iter analyzer's
+// event-scheduling check.
+package sim
+
+// Engine is a stub scheduler.
+type Engine struct{ n int }
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.n++ }

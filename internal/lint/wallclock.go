@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockFuncs are the package time functions that read or wait on
+// the real clock. Simulated components must take time from
+// sim.Engine.Now (float64 seconds) instead; a single time.Now leaking
+// into a model makes runs diverge between machines and executions.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallclockAnalyzer implements the no-wallclock rule: real-time clock
+// reads are forbidden in non-test files under internal/ and cmd/.
+var WallclockAnalyzer = &Analyzer{
+	Name: "no-wallclock",
+	Doc:  "forbid time.Now/Sleep/Since etc. in simulated components (internal/, cmd/)",
+	Run:  runWallclock,
+}
+
+func runWallclock(p *Pass) {
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		rel := p.RelFile(file.Pos())
+		if !strings.HasPrefix(rel, "internal/") && !strings.HasPrefix(rel, "cmd/") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := p.funcFor(sel)
+			if fn == nil || pkgPath(fn) != "time" || !wallclockFuncs[fn.Name()] {
+				return true
+			}
+			p.Report("no-wallclock", sel.Pos(),
+				"time.%s reads the real clock; simulated components must use sim.Engine time (float64 seconds)", fn.Name())
+			return true
+		})
+	}
+}

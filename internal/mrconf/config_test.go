@@ -85,6 +85,7 @@ func TestGetUnknownPanics(t *testing.T) {
 			t.Fatal("Get of unknown parameter did not panic")
 		}
 	}()
+	//mrlint:ignore conf-key-literal deliberately unknown key: this test asserts the panic
 	Default().Get("mapreduce.no.such.parameter")
 }
 

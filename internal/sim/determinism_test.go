@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildSchedule drives one engine through a mixed schedule — immediate
+// events, same-timestamp collisions, ticker chains, cancellations, and
+// seeded random draws — recording the exact firing order. Two engines
+// with the same seed must produce identical logs, including the
+// same-timestamp tie-breaking by insertion sequence (seq).
+func buildSchedule(seed uint64) []string {
+	eng := NewEngine()
+	src := NewSource(seed)
+	rng := src.Stream("determinism")
+	var log []string
+	record := func(tag string) {
+		log = append(log, fmt.Sprintf("%.9f:%s", eng.Now(), tag))
+	}
+
+	// Three events at the exact same instant: firing order must be the
+	// scheduling order (seq tie-break), not heap-internal order.
+	eng.At(1.0, func() { record("tie-a") })
+	eng.At(1.0, func() { record("tie-b") })
+	eng.At(1.0, func() { record("tie-c") })
+
+	// Events scheduled from inside callbacks, at times drawn from the
+	// seeded stream.
+	eng.At(0.5, func() {
+		record("spawn")
+		for i := 0; i < 5; i++ {
+			i := i
+			d := rng.Float64() * 2
+			eng.After(d, func() { record(fmt.Sprintf("rand-%d", i)) })
+		}
+	})
+
+	// Same-time events created in different callback contexts.
+	eng.At(2.0, func() {
+		record("ctx-1")
+		eng.At(3.0, func() { record("nested-1") })
+	})
+	eng.At(2.0, func() {
+		record("ctx-2")
+		eng.At(3.0, func() { record("nested-2") })
+	})
+
+	// A ticker that cancels a pending event halfway through.
+	victim := eng.At(2.5, func() { record("victim") })
+	ticks := 0
+	eng.Tick(0.7, func() bool {
+		ticks++
+		record(fmt.Sprintf("tick-%d", ticks))
+		if ticks == 2 {
+			eng.Cancel(victim)
+		}
+		return ticks < 4
+	})
+
+	eng.Run()
+	return log
+}
+
+func TestIdenticalSeedsIdenticalFiringOrder(t *testing.T) {
+	a := buildSchedule(42)
+	b := buildSchedule(42)
+	if len(a) == 0 {
+		t.Fatal("schedule produced no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing order diverged at event %d: %q vs %q\nfull A: %v\nfull B: %v",
+				i, a[i], b[i], a, b)
+		}
+	}
+
+	// The canceled event must not have fired, and the same-timestamp
+	// trio must appear in scheduling order.
+	var tieOrder []string
+	for _, e := range a {
+		switch e {
+		case "2.500000000:victim":
+			t.Fatal("canceled event fired")
+		case "1.000000000:tie-a", "1.000000000:tie-b", "1.000000000:tie-c":
+			tieOrder = append(tieOrder, e)
+		}
+	}
+	want := []string{"1.000000000:tie-a", "1.000000000:tie-b", "1.000000000:tie-c"}
+	if len(tieOrder) != 3 || tieOrder[0] != want[0] || tieOrder[1] != want[1] || tieOrder[2] != want[2] {
+		t.Fatalf("same-timestamp tie-break order wrong: %v, want %v", tieOrder, want)
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	// Sanity check that the schedule actually depends on the seed (the
+	// rand-* events move); otherwise the identical-order test is vacuous.
+	a := buildSchedule(1)
+	b := buildSchedule(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("schedules with different seeds were identical; determinism test is vacuous")
+	}
+}
