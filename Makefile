@@ -21,12 +21,13 @@ test:
 test-short:
 	go test -short ./...
 
+# Run every benchmark (figure-level in the module root plus the
+# micro-benchmarks under internal/) and archive the results as JSON via
+# cmd/benchjson; see README.md "Machine-readable benchmarks".
+BENCH_OUT ?= bench.json
 bench:
-	@if ls *_test.go >/dev/null 2>&1; then \
-		go test -bench=. -benchmem -benchtime=1x -run='^$$' . ; \
-	else \
-		echo "bench: no benchmark files in module root; skipping" ; \
-	fi
+	go test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/... \
+		| tee /dev/stderr | go run ./cmd/benchjson -o $(BENCH_OUT)
 
 cover:
 	go test ./internal/... -coverprofile=cover.out

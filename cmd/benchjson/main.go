@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, so benchmark results can be archived,
+// diffed, and compared across commits without scraping text.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o bench.json
+//
+// The output format is documented in README.md ("Machine-readable
+// benchmarks"). Each benchmark line
+//
+//	BenchmarkFabricChurn-8  165118  6959 ns/op  2 B/op  0 allocs/op
+//
+// becomes one entry keyed by the benchmark name with the -N GOMAXPROCS
+// suffix stripped. Standard units (ns/op, B/op, allocs/op, MB/s) map to
+// fixed fields; any other `value unit` pair — custom metrics emitted
+// via b.ReportMetric — lands in the "metrics" map under its unit name.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        []string `json:"packages,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	doc := document{Benchmarks: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = append(doc.Pkg, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo \t--- FAIL" lines
+		}
+		r := result{Name: stripProcSuffix(fields[0]), Iterations: iters}
+		// Remaining fields come in `value unit` pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			case "MB/s":
+				r.MBPerSec = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS suffix go test
+// appends to benchmark names (BenchmarkFoo-8 -> BenchmarkFoo).
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -24,11 +26,42 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated artifact ids, or 'all'")
-		seed     = flag.Uint64("seed", 42, "simulation seed")
-		htmlPath = flag.String("html", "", "write a self-contained HTML report (runs everything)")
+		run        = flag.String("run", "all", "comma-separated artifact ids, or 'all'")
+		seed       = flag.Uint64("seed", 42, "simulation seed")
+		htmlPath   = flag.String("html", "", "write a self-contained HTML report (runs everything)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	env := experiments.Env{Seed: *seed}
 	if *htmlPath != "" {

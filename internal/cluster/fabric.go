@@ -7,6 +7,13 @@
 // (spill I/O, shuffle congestion, CPU caps from container vcores) that
 // MRONLINE's tuning exploits on the paper's physical 19-node cluster.
 //
+// Fair-share recomputation is incremental: each link keeps a membership
+// list of its active flows, and a flow change only recomputes the
+// connected component of links and flows reachable from the changed
+// flow. Flows in other components keep their rates and their scheduled
+// completion events untouched (see docs/MODEL.md, "Fabric complexity &
+// incremental recomputation").
+//
 // Units: data quantities are in MB (1e6 bytes) and rates in MB/s; CPU
 // work is in core-seconds and CPU rates in cores. Time is in seconds.
 package cluster
@@ -14,6 +21,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -27,9 +35,16 @@ type Link struct {
 
 	used metrics.Meter // current aggregate rate of flows on this link
 
-	// scratch state for the progressive-filling computation
+	// flows is the membership list of active flows crossing this link,
+	// maintained by Fabric.Start and Fabric.remove. Order is insertion
+	// order perturbed by swap-removal — deterministic, but arbitrary.
+	flows []*Flow
+
+	// scratch state for the progressive-filling computation; remaining
+	// doubles as the per-link rate accumulator for the meter update.
 	remaining float64
 	count     int
+	visit     uint64 // recompute epoch this link was last swept into
 }
 
 // Utilization returns the time-average fraction of capacity in use
@@ -44,6 +59,11 @@ func (l *Link) Utilization(now float64) float64 {
 // CurrentRate returns the aggregate rate currently flowing on the link.
 func (l *Link) CurrentRate() float64 { return l.used.Level() }
 
+// inlineLinks is how many per-link membership positions a Flow stores
+// without a separate allocation; transfers cross at most four links
+// (two NICs plus two rack uplinks).
+const inlineLinks = 4
+
 // Flow is an in-progress transfer or computation consuming fair-share
 // capacity on one or more links, optionally bounded by a rate cap (for
 // CPU flows, the container's vcore allowance).
@@ -53,16 +73,35 @@ type Flow struct {
 	remaining   float64
 	rateCap     float64 // 0 means unlimited
 	rate        float64
+	prevRate    float64 // scratch: rate on entry to the current recompute
 	lastAdvance float64
 	done        func()
 	ev          *sim.Event
-	index       int
-	frozen      bool // scratch for progressive filling
+	index       int              // position in fabric.flows, -1 when inactive
+	pos         [inlineLinks]int // this flow's index in links[i].flows
+	posX        []int            // spill positions for flows crossing more links
+	visit       uint64           // recompute epoch this flow was last swept into
+	frozen      bool             // scratch for progressive filling
 	finished    bool
 }
 
-// Remaining returns the amount of work left, valid as of the last rate
-// recomputation.
+func (f *Flow) linkPos(i int) int {
+	if i < inlineLinks {
+		return f.pos[i]
+	}
+	return f.posX[i-inlineLinks]
+}
+
+func (f *Flow) setLinkPos(i, p int) {
+	if i < inlineLinks {
+		f.pos[i] = p
+		return
+	}
+	f.posX[i-inlineLinks] = p
+}
+
+// Remaining returns the amount of work left, valid as of the last
+// recomputation that touched this flow's component.
 func (f *Flow) Remaining() float64 { return f.remaining }
 
 // Rate returns the current fair-share rate.
@@ -78,12 +117,20 @@ func (f *Flow) Cancel() { f.fabric.Cancel(f) }
 // Fabric manages a set of links whose flows may interact (share links).
 // Separate resource domains (each node's disk, each node's CPU pool,
 // the cluster network) use separate fabrics so that rate recomputation
-// stays local to the domain.
+// stays local to the domain; within a fabric, recomputation stays local
+// to the connected component of the changed flow.
 type Fabric struct {
 	Name  string
 	eng   *sim.Engine
 	links []*Link
 	flows []*Flow
+
+	epoch uint64 // recompute generation for visit stamps
+
+	// Scratch slices reused across recomputations to keep the hot path
+	// allocation-free; contents are only valid during one recompute.
+	dirtyLinks []*Link
+	dirtyFlows []*Flow
 }
 
 // NewFabric returns an empty fabric bound to the engine.
@@ -107,14 +154,21 @@ func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
 
 // Start begins a flow of `work` units across the given links, at most
 // rateCap units/s (0 = unlimited), invoking done when the work
-// completes. Links must belong to this fabric. A flow must be
-// constrained by at least one link or a positive rate cap.
+// completes. Links must belong to this fabric and must be distinct. A
+// flow must be constrained by at least one link or a positive rate cap.
 func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow {
 	if len(links) == 0 && rateCap <= 0 {
 		panic("cluster: flow with no links and no rate cap would be infinitely fast")
 	}
 	if work < 0 || math.IsNaN(work) || math.IsInf(work, 0) {
 		panic(fmt.Sprintf("cluster: invalid flow work %v", work))
+	}
+	for i := 1; i < len(links); i++ {
+		for j := 0; j < i; j++ {
+			if links[i] == links[j] {
+				panic(fmt.Sprintf("cluster: flow lists link %q twice", links[i].Name))
+			}
+		}
 	}
 	f := &Flow{fabric: fb, links: links, remaining: work, rateCap: rateCap, done: done, index: -1}
 	if work == 0 {
@@ -130,9 +184,16 @@ func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow
 		})
 		return f
 	}
+	if n := len(links); n > inlineLinks {
+		f.posX = make([]int, n-inlineLinks)
+	}
 	f.index = len(fb.flows)
 	fb.flows = append(fb.flows, f)
-	fb.recompute()
+	for i, l := range links {
+		f.setLinkPos(i, len(l.flows))
+		l.flows = append(l.flows, f)
+	}
+	fb.recompute(links, f)
 	return f
 }
 
@@ -148,10 +209,12 @@ func (fb *Fabric) Cancel(f *Flow) {
 	}
 	if f.index >= 0 {
 		fb.remove(f)
-		fb.recompute()
+		fb.recompute(f.links, nil)
 	}
 }
 
+// remove detaches f from the fabric's flow list and from every link's
+// membership list (swap-removal, fixing up the moved entries' indices).
 func (fb *Fabric) remove(f *Flow) {
 	i := f.index
 	last := len(fb.flows) - 1
@@ -160,6 +223,22 @@ func (fb *Fabric) remove(f *Flow) {
 	fb.flows[last] = nil
 	fb.flows = fb.flows[:last]
 	f.index = -1
+	for li, l := range f.links {
+		p := f.linkPos(li)
+		lastF := len(l.flows) - 1
+		moved := l.flows[lastF]
+		l.flows[p] = moved
+		l.flows[lastF] = nil
+		l.flows = l.flows[:lastF]
+		if moved != f {
+			for mi, ml := range moved.links {
+				if ml == l {
+					moved.setLinkPos(mi, p)
+					break
+				}
+			}
+		}
+	}
 }
 
 func (fb *Fabric) complete(f *Flow) {
@@ -173,28 +252,99 @@ func (fb *Fabric) complete(f *Flow) {
 	// Recompute before the callback so that work started inside the
 	// callback sees up-to-date rates (it will trigger its own
 	// recompute anyway, but intermediate meter accounting stays exact).
-	fb.recompute()
+	fb.recompute(f.links, nil)
 	if f.done != nil {
 		f.done()
 	}
 }
 
-// recompute advances all flows' remaining work, recomputes max-min fair
-// rates with per-flow caps via uniform-increment progressive filling,
-// and reschedules completion events.
-func (fb *Fabric) recompute() {
+// recompute rebalances fair-share rates after a flow change. seeds are
+// the changed flow's links (still attached for a start, already
+// detached for a completion or cancel — which is what lets a component
+// split apart); seedFlow, when non-nil, is a newly started flow that
+// must be included even when it has no links (cap-only flows form
+// singleton components).
+//
+// Only the connected component of links and flows reachable from the
+// seeds is touched: their work is advanced to now at the old rates,
+// rates are recomputed with uniform-increment progressive filling, link
+// meters are re-aggregated from the membership lists, and completion
+// events are rescheduled — but only for flows whose rate actually
+// changed (exact float comparison: an epsilon window would make the
+// outcome depend on accumulated drift and break reproducibility).
+// Flows outside the component share no link with any flow inside it,
+// transitively, so their fair-share rates — and therefore their
+// scheduled completion events — are provably unaffected.
+func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 	now := fb.eng.Now()
 
-	// Advance remaining work at the old rates before changing them.
-	fb.advance(now)
+	// Sweep out the connected component (links and flows) from the
+	// seeds. visit stamps make membership checks O(1) without clearing.
+	fb.epoch++
+	ep := fb.epoch
+	links := fb.dirtyLinks[:0]
+	flows := fb.dirtyFlows[:0]
+	for _, l := range seeds {
+		if l.visit != ep {
+			l.visit = ep
+			links = append(links, l)
+		}
+	}
+	if seedFlow != nil && seedFlow.visit != ep {
+		seedFlow.visit = ep
+		flows = append(flows, seedFlow)
+	}
+	for i := 0; i < len(links); i++ {
+		for _, f := range links[i].flows {
+			if f.visit != ep {
+				f.visit = ep
+				flows = append(flows, f)
+				for _, fl := range f.links {
+					if fl.visit != ep {
+						fl.visit = ep
+						links = append(links, fl)
+					}
+				}
+			}
+		}
+	}
+	fb.dirtyLinks = links // keep grown capacity for the next recompute
+	fb.dirtyFlows = flows
 
-	// Progressive filling.
-	for _, l := range fb.links {
+	if len(flows) == 0 {
+		// The changed flow was the last one on its links.
+		for _, l := range links {
+			l.used.Set(now, 0)
+		}
+		return
+	}
+
+	// Advance the component's remaining work at the old rates before
+	// changing them. Untouched flows keep accruing at their (still
+	// valid) rates; they are advanced whenever their component is next
+	// recomputed or their completion event fires.
+	for _, f := range flows {
+		if f.rate > 0 {
+			f.remaining -= f.rate * (now - f.lastAdvance)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastAdvance = now
+		f.prevRate = f.rate
+	}
+
+	// Progressive filling, scoped to the component. The arithmetic is
+	// identical to a whole-fabric recomputation restricted to this
+	// component: rates accumulate uniform increments bounded by the
+	// tightest link share or cap room, and the result does not depend
+	// on the iteration order of links or flows.
+	for _, l := range links {
 		l.remaining = l.Capacity
 		l.count = 0
 	}
 	unfrozen := 0
-	for _, f := range fb.flows {
+	for _, f := range flows {
 		f.frozen = false
 		f.rate = 0
 		unfrozen++
@@ -205,14 +355,14 @@ func (fb *Fabric) recompute() {
 	const relEps = 1e-12
 	for unfrozen > 0 {
 		delta := math.Inf(1)
-		for _, l := range fb.links {
+		for _, l := range links {
 			if l.count > 0 {
 				if share := l.remaining / float64(l.count); share < delta {
 					delta = share
 				}
 			}
 		}
-		for _, f := range fb.flows {
+		for _, f := range flows {
 			if !f.frozen && f.rateCap > 0 {
 				if room := f.rateCap - f.rate; room < delta {
 					delta = room
@@ -228,16 +378,16 @@ func (fb *Fabric) recompute() {
 		if delta < 0 {
 			delta = 0
 		}
-		for _, f := range fb.flows {
+		for _, f := range flows {
 			if !f.frozen {
 				f.rate += delta
 			}
 		}
-		for _, l := range fb.links {
+		for _, l := range links {
 			l.remaining -= delta * float64(l.count)
 		}
 		// Freeze flows that hit their cap or sit on an exhausted link.
-		for _, f := range fb.flows {
+		for _, f := range flows {
 			if f.frozen {
 				continue
 			}
@@ -264,7 +414,7 @@ func (fb *Fabric) recompute() {
 		if delta == 0 && unfrozen > 0 {
 			// All remaining flows are rate-0 (exhausted links with
 			// count>0 but zero remaining). Freeze them to terminate.
-			for _, f := range fb.flows {
+			for _, f := range flows {
 				if !f.frozen {
 					f.frozen = true
 					unfrozen--
@@ -276,42 +426,54 @@ func (fb *Fabric) recompute() {
 		}
 	}
 
-	// Update link meters and reschedule completions.
-	for _, l := range fb.links {
-		total := 0.0
-		for _, f := range fb.flows {
-			for _, fl := range f.links {
-				if fl == l {
-					total += f.rate
-					break
-				}
-			}
-		}
-		l.used.Set(now, total)
+	// Update link meters by per-link aggregation over the component
+	// (every flow on a dirty link is itself dirty, by closure), and
+	// reschedule completions for flows whose rate changed. Iterate in
+	// fabric insertion-array order so that meter summation order and
+	// event sequence assignment match a whole-fabric recomputation.
+	sortFlowsByIndex(flows)
+	for _, l := range links {
+		l.remaining = 0
 	}
-	for _, f := range fb.flows {
+	for _, f := range flows {
+		for _, l := range f.links {
+			l.remaining += f.rate
+		}
+	}
+	for _, l := range links {
+		l.used.Set(now, l.remaining)
+	}
+	for _, f := range flows {
+		if f.rate == f.prevRate && (f.ev != nil || f.rate == 0) {
+			// Rate is bit-identical to before: the scheduled completion
+			// event is still exact, leave it alone.
+			continue
+		}
 		if f.ev != nil {
 			fb.eng.Cancel(f.ev)
 			f.ev = nil
 		}
-		f.lastAdvance = now
 		if f.rate > 0 {
-			f := f
 			f.ev = fb.eng.After(f.remaining/f.rate, func() { fb.complete(f) })
 		}
 	}
 }
 
-// advance moves every flow's remaining-work counter forward to now at
-// its current rate.
-func (fb *Fabric) advance(now float64) {
-	for _, f := range fb.flows {
-		if f.rate > 0 {
-			f.remaining -= f.rate * (now - f.lastAdvance)
-			if f.remaining < 0 {
-				f.remaining = 0
+// sortFlowsByIndex orders flows by their fabric array position.
+// Components are usually a handful of flows, where insertion sort is
+// cheapest and allocation-free.
+func sortFlowsByIndex(fs []*Flow) {
+	if len(fs) <= 24 {
+		for i := 1; i < len(fs); i++ {
+			f := fs[i]
+			j := i - 1
+			for j >= 0 && fs[j].index > f.index {
+				fs[j+1] = fs[j]
+				j--
 			}
+			fs[j+1] = f
 		}
-		f.lastAdvance = now
+		return
 	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].index < fs[j].index })
 }

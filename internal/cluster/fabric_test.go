@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -358,29 +357,131 @@ func TestFabricChurnProperty(t *testing.T) {
 	}
 }
 
-// BenchmarkFabricChurn measures flow start/complete cost with ongoing
-// contention (the simulator's hot path).
-func BenchmarkFabricChurn(b *testing.B) {
+// TestCancelInsideCompletionCascade cancels a flow from inside another
+// flow's done callback, while the completion's own recompute cascade is
+// conceptually still in flight. The cancel must take effect before any
+// stale completion event for the canceled flow can fire.
+func TestCancelInsideCompletionCascade(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "bench")
-	links := make([]*Link, 8)
-	for i := range links {
-		links[i] = fb.AddLink(fmt.Sprintf("l%d", i), 100)
+	fb := NewFabric(eng, "test")
+	l := fb.AddLink("l", 100)
+	var b *Flow
+	bFired := false
+	cDone := -1.0
+	// Three-way share (100/3 each) until A completes at t=3; A's
+	// callback cancels B mid-cascade; C then runs alone.
+	fb.Start([]*Link{l}, 100, 0, func() { b.Cancel() })
+	b = fb.Start([]*Link{l}, 1000, 0, func() { bFired = true })
+	fb.Start([]*Link{l}, 200, 0, func() { cDone = eng.Now() })
+	eng.Run()
+	if bFired {
+		t.Fatal("flow canceled mid-cascade still fired its done callback")
 	}
-	for i := 0; i < 40; i++ {
-		fb.Start([]*Link{links[i%8]}, 1e12, 0, nil) // standing load
+	// C: 100/3 rate for 3s (100 done), then 100 remaining at full rate.
+	if !almostEqual(cDone, 4, 1e-9) {
+		t.Fatalf("C completed at %v, want 4", cDone)
 	}
-	b.ResetTimer()
-	done := 0
-	var launch func(i int)
-	launch = func(i int) {
-		fb.Start([]*Link{links[i%8], links[(i+3)%8]}, 50, 0, func() {
-			done++
-			if done < b.N {
-				launch(done)
+	if fb.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after run, want 0", fb.ActiveFlows())
+	}
+}
+
+// TestSimultaneousCompletionCancel: two identical flows complete at the
+// same instant and each one's callback cancels the other. Scheduling
+// order breaks the tie deterministically: exactly one callback runs.
+func TestSimultaneousCompletionCancel(t *testing.T) {
+	eng := sim.NewEngine()
+	fb := NewFabric(eng, "test")
+	l := fb.AddLink("l", 100)
+	fired := 0
+	var a, b *Flow
+	a = fb.Start([]*Link{l}, 100, 0, func() { fired++; b.Cancel() })
+	b = fb.Start([]*Link{l}, 100, 0, func() { fired++; a.Cancel() })
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want exactly 1 (first completion cancels the second)", fired)
+	}
+	if fb.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after run, want 0", fb.ActiveFlows())
+	}
+}
+
+// TestRateCapExactlyAtFairShare: a cap equal to the fair share must
+// freeze the flow at exactly the cap (0 + cap == cap in float), leaving
+// its rate — and therefore its completion event — bit-stable while the
+// other flow runs at the identical share.
+func TestRateCapExactlyAtFairShare(t *testing.T) {
+	eng := sim.NewEngine()
+	fb := NewFabric(eng, "test")
+	l := fb.AddLink("l", 100)
+	tCapped, tFree := -1.0, -1.0
+	capped := fb.Start([]*Link{l}, 100, 50, func() { tCapped = eng.Now() })
+	fb.Start([]*Link{l}, 300, 0, func() { tFree = eng.Now() })
+	if got := capped.Rate(); got != 50.0 {
+		t.Fatalf("capped rate = %v, want exactly 50", got)
+	}
+	eng.Run()
+	if tCapped != 2.0 {
+		t.Fatalf("capped flow completed at %v, want exactly 2", tCapped)
+	}
+	// Free flow: 50 MB/s until t=2 (100 done), then alone: 200 at 100.
+	if !almostEqual(tFree, 4, 1e-9) {
+		t.Fatalf("free flow completed at %v, want 4", tFree)
+	}
+}
+
+// TestStarvedFlowResumesAndCompletes: a flow squeezed to a near-zero
+// rate by heavy contention must keep a valid completion event and
+// finish promptly once the contention is canceled.
+func TestStarvedFlowResumesAndCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	fb := NewFabric(eng, "test")
+	l := fb.AddLink("l", 100)
+	victimDone := -1.0
+	victim := fb.Start([]*Link{l}, 100, 0, func() { victimDone = eng.Now() })
+	heavy := make([]*Flow, 400)
+	for i := range heavy {
+		heavy[i] = fb.Start([]*Link{l}, 1e12, 0, nil)
+	}
+	starvedRate := victim.Rate()
+	if !almostEqual(starvedRate, 100.0/401, 1e-9) {
+		t.Fatalf("starved rate = %v, want %v", starvedRate, 100.0/401)
+	}
+	eng.At(1, func() {
+		for _, h := range heavy {
+			h.Cancel()
+		}
+	})
+	eng.Run()
+	want := 1 + (100-starvedRate*1)/100
+	if !almostEqual(victimDone, want, 1e-9) {
+		t.Fatalf("victim completed at %v, want %v", victimDone, want)
+	}
+}
+
+// TestUntouchedComponentKeepsExactSchedule: a flow alone on its own
+// link completes at exactly work/capacity — bit-exact, not within a
+// tolerance — even while a disjoint component churns, because the
+// incremental recompute never touches its rate or completion event.
+func TestUntouchedComponentKeepsExactSchedule(t *testing.T) {
+	eng := sim.NewEngine()
+	fb := NewFabric(eng, "test")
+	la := fb.AddLink("a", 100)
+	lb := fb.AddLink("b", 80)
+	quietDone := -1.0
+	fb.Start([]*Link{lb}, 400, 0, func() { quietDone = eng.Now() })
+	// Churn the other component: overlapping starts and cancels on la.
+	for k := 0; k < 50; k++ {
+		k := k
+		eng.At(0.09*float64(k), func() {
+			f := fb.Start([]*Link{la}, 3, 0, nil)
+			if k%3 == 0 {
+				eng.After(0.05, func() { f.Cancel() })
 			}
 		})
 	}
-	launch(0)
 	eng.Run()
+	if quietDone != 400.0/80 {
+		t.Fatalf("quiet flow completed at %v, want exactly %v", quietDone, 400.0/80)
+	}
 }

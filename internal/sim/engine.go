@@ -13,6 +13,13 @@ import (
 )
 
 // Event is a scheduled callback. It can be canceled before it fires.
+//
+// Ownership: once an event has fired, the engine may recycle the Event
+// value for a later At/After call (a free list keeps the hot
+// schedule→fire path allocation-free). Callers must therefore drop
+// their reference to an event after it fires and must not Cancel it; a
+// canceled-but-never-fired event is never recycled, so canceling it
+// again remains a safe no-op.
 type Event struct {
 	at       float64
 	seq      uint64
@@ -74,7 +81,14 @@ type Engine struct {
 	// MaxEvents aborts Run with a panic when the event count exceeds it.
 	// Zero means no limit.
 	MaxEvents uint64
+	// free holds fired events available for reuse, bounding allocation
+	// churn on the schedule→fire hot path.
+	free []*Event
 }
+
+// maxFreeEvents bounds the free list so that a burst of events does not
+// pin memory for the rest of the run.
+const maxFreeEvents = 1 << 14
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -97,7 +111,15 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.canceled = t, e.seq, fn, false
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.pq, ev)
 	return ev
@@ -146,7 +168,14 @@ func (e *Engine) RunUntil(t float64) {
 		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway model?)", e.MaxEvents))
 		}
-		next.fn()
+		fn := next.fn
+		next.fn = nil // release the closure before running it
+		fn()
+		// The event has fired and its closure is detached; recycle it
+		// (see the Event ownership contract).
+		if len(e.free) < maxFreeEvents {
+			e.free = append(e.free, next)
+		}
 	}
 	if !math.IsInf(t, 1) && t > e.now && !e.stopped {
 		e.now = t

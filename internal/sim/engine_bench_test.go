@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the schedule→fire round trip for a
+// self-perpetuating event chain — the allocation pattern of every flow
+// completion in the fabric.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	left := b.N
+	var step func()
+	step = func() {
+		left--
+		if left > 0 {
+			eng.After(1, step)
+		}
+	}
+	eng.After(1, step)
+	eng.Run()
+}
+
+// BenchmarkEngineScheduleFan measures a fan of events per step: each
+// firing schedules several short-lived events and cancels one, the
+// cancel/reschedule pattern of a fabric recomputation.
+func BenchmarkEngineScheduleFan(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	left := b.N
+	var step func()
+	step = func() {
+		left--
+		victim := eng.After(5, func() {})
+		eng.After(0.5, func() {})
+		eng.After(0.25, func() {})
+		eng.Cancel(victim)
+		if left > 0 {
+			eng.After(1, step)
+		}
+	}
+	eng.After(1, step)
+	eng.Run()
+}
