@@ -46,6 +46,8 @@ type document struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	update := flag.String("update", "", "also replace one leg of this before/after archive in place (see BENCH_PR3.json)")
+	leg := flag.String("leg", "after", "which leg of the -update archive to replace")
 	flag.Parse()
 
 	doc := document{Benchmarks: []result{}}
@@ -111,8 +113,17 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
+	if *update != "" {
+		if err := updateArchive(*update, *leg, doc.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: replaced %q leg of %s (%d benchmarks)\n", *leg, *update, len(doc.Benchmarks))
+	}
 	if *out == "" {
-		os.Stdout.Write(buf)
+		if *update == "" {
+			os.Stdout.Write(buf)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
@@ -120,6 +131,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// updateArchive rewrites one leg of a before/after archive file (the
+// BENCH_PR*.json convention: a top-level object with "before" and
+// "after" legs each holding a "benchmarks" array), preserving every
+// other field — title, note, the opposite leg. A missing file starts
+// a fresh archive.
+func updateArchive(path, leg string, benches []result) error {
+	archive := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &archive); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	legObj, _ := archive[leg].(map[string]any)
+	if legObj == nil {
+		legObj = map[string]any{}
+	}
+	legObj["benchmarks"] = benches
+	archive[leg] = legObj
+	buf, err := json.MarshalIndent(archive, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // stripProcSuffix removes the trailing -N GOMAXPROCS suffix go test

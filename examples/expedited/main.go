@@ -66,10 +66,7 @@ func main() {
 		def.Counters.SpilledRecords(), tuned.Counters.SpilledRecords(),
 		tuned.Counters.CombineOutputRecs)
 	fmt.Println("\ntuned configuration:")
-	overrides := cfg.Overrides()
-	for _, p := range mrconf.Params() {
-		if v, ok := overrides[p.Name]; ok {
-			fmt.Printf("  %-52s %g\n", p.Name, v)
-		}
-	}
+	cfg.EachOverride(func(p mrconf.Param, v float64) {
+		fmt.Printf("  %-52s %g\n", p.Name, v)
+	})
 }

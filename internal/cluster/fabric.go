@@ -21,7 +21,6 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -76,13 +75,16 @@ type Flow struct {
 	prevRate    float64 // scratch: rate on entry to the current recompute
 	lastAdvance float64
 	done        func()
-	ev          *sim.Event
-	index       int              // position in fabric.flows, -1 when inactive
-	pos         [inlineLinks]int // this flow's index in links[i].flows
-	posX        []int            // spill positions for flows crossing more links
-	visit       uint64           // recompute epoch this flow was last swept into
-	frozen      bool             // scratch for progressive filling
-	finished    bool
+	// onComplete is the cached completion callback, allocated once in
+	// Start so that rescheduling on every rate change stays
+	// allocation-free.
+	onComplete func()
+	ev         *sim.Event
+	index      int              // position in fabric.flows, -1 when inactive
+	pos        [inlineLinks]int // this flow's index in links[i].flows
+	posX       []int            // spill positions for flows crossing more links
+	visit      uint64           // recompute epoch this flow was last swept into
+	finished   bool
 }
 
 func (f *Flow) linkPos(i int) int {
@@ -131,6 +133,12 @@ type Fabric struct {
 	// allocation-free; contents are only valid during one recompute.
 	dirtyLinks []*Link
 	dirtyFlows []*Flow
+	// orderedFlows is the second component buffer used when restoring
+	// index order by scanning fb.flows; it swaps roles with dirtyFlows.
+	orderedFlows []*Flow
+	// activeFlows is the progressive-filling worklist of not-yet-frozen
+	// flows (compacted by swap-removal as flows freeze).
+	activeFlows []*Flow
 }
 
 // NewFabric returns an empty fabric bound to the engine.
@@ -187,6 +195,7 @@ func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow
 	if n := len(links); n > inlineLinks {
 		f.posX = make([]int, n-inlineLinks)
 	}
+	f.onComplete = func() { fb.complete(f) }
 	f.index = len(fb.flows)
 	fb.flows = append(fb.flows, f)
 	for i, l := range links {
@@ -343,17 +352,22 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 		l.remaining = l.Capacity
 		l.count = 0
 	}
-	unfrozen := 0
+	// active is the not-yet-frozen worklist, compacted by swap-removal
+	// as flows freeze. The filling result is order-independent: every
+	// active flow accumulates the same delta per round, and the freeze
+	// decision reads only f.rate/f.rateCap and l.remaining, all fixed
+	// during a freeze sweep (l.count changes only affect later rounds).
+	active := fb.activeFlows[:0]
 	for _, f := range flows {
-		f.frozen = false
 		f.rate = 0
-		unfrozen++
+		active = append(active, f)
 		for _, l := range f.links {
 			l.count++
 		}
 	}
+	fb.activeFlows = active // keep grown capacity for the next recompute
 	const relEps = 1e-12
-	for unfrozen > 0 {
+	for len(active) > 0 {
 		delta := math.Inf(1)
 		for _, l := range links {
 			if l.count > 0 {
@@ -362,8 +376,8 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 				}
 			}
 		}
-		for _, f := range flows {
-			if !f.frozen && f.rateCap > 0 {
+		for _, f := range active {
+			if f.rateCap > 0 {
 				if room := f.rateCap - f.rate; room < delta {
 					delta = room
 				}
@@ -378,19 +392,15 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 		if delta < 0 {
 			delta = 0
 		}
-		for _, f := range flows {
-			if !f.frozen {
-				f.rate += delta
-			}
+		for _, f := range active {
+			f.rate += delta
 		}
 		for _, l := range links {
 			l.remaining -= delta * float64(l.count)
 		}
 		// Freeze flows that hit their cap or sit on an exhausted link.
-		for _, f := range flows {
-			if f.frozen {
-				continue
-			}
+		for i := 0; i < len(active); {
+			f := active[i]
 			freeze := false
 			if f.rateCap > 0 && f.rate >= f.rateCap-relEps*f.rateCap {
 				freeze = true
@@ -404,25 +414,25 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 				}
 			}
 			if freeze {
-				f.frozen = true
-				unfrozen--
+				for _, l := range f.links {
+					l.count--
+				}
+				last := len(active) - 1
+				active[i] = active[last]
+				active = active[:last]
+			} else {
+				i++
+			}
+		}
+		if delta == 0 && len(active) > 0 {
+			// All remaining flows are rate-0 (exhausted links with
+			// count>0 but zero remaining). Freeze them to terminate.
+			for _, f := range active {
 				for _, l := range f.links {
 					l.count--
 				}
 			}
-		}
-		if delta == 0 && unfrozen > 0 {
-			// All remaining flows are rate-0 (exhausted links with
-			// count>0 but zero remaining). Freeze them to terminate.
-			for _, f := range flows {
-				if !f.frozen {
-					f.frozen = true
-					unfrozen--
-					for _, l := range f.links {
-						l.count--
-					}
-				}
-			}
+			active = active[:0]
 		}
 	}
 
@@ -431,7 +441,37 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 	// reschedule completions for flows whose rate changed. Iterate in
 	// fabric insertion-array order so that meter summation order and
 	// event sequence assignment match a whole-fabric recomputation.
-	sortFlowsByIndex(flows)
+	//
+	// Restoring that order is sort-free: small components use an
+	// allocation-free insertion sort; larger ones are re-collected by
+	// scanning fb.flows, which is index-ordered by construction (a
+	// flow's index is its position), picking out this epoch's members.
+	// Both produce strictly ascending index order.
+	if len(flows) <= 24 {
+		for i := 1; i < len(flows); i++ {
+			f := flows[i]
+			j := i - 1
+			for j >= 0 && flows[j].index > f.index {
+				flows[j+1] = flows[j]
+				j--
+			}
+			flows[j+1] = f
+		}
+	} else {
+		ordered := fb.orderedFlows[:0]
+		for _, g := range fb.flows {
+			if g.visit != ep {
+				continue
+			}
+			ordered = append(ordered, g)
+			if len(ordered) == len(flows) {
+				break
+			}
+		}
+		fb.orderedFlows = fb.dirtyFlows // swap buffers, keeping both grown
+		fb.dirtyFlows = ordered
+		flows = ordered
+	}
 	for _, l := range links {
 		l.remaining = 0
 	}
@@ -449,31 +489,17 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 			// event is still exact, leave it alone.
 			continue
 		}
-		if f.ev != nil {
+		if f.rate > 0 {
+			if f.ev != nil {
+				// Move the queued completion in place instead of
+				// cancel+allocate (canceled events are never recycled).
+				f.ev = fb.eng.Reschedule(f.ev, now+f.remaining/f.rate)
+			} else {
+				f.ev = fb.eng.After(f.remaining/f.rate, f.onComplete)
+			}
+		} else if f.ev != nil {
 			fb.eng.Cancel(f.ev)
 			f.ev = nil
 		}
-		if f.rate > 0 {
-			f.ev = fb.eng.After(f.remaining/f.rate, func() { fb.complete(f) })
-		}
 	}
-}
-
-// sortFlowsByIndex orders flows by their fabric array position.
-// Components are usually a handful of flows, where insertion sort is
-// cheapest and allocation-free.
-func sortFlowsByIndex(fs []*Flow) {
-	if len(fs) <= 24 {
-		for i := 1; i < len(fs); i++ {
-			f := fs[i]
-			j := i - 1
-			for j >= 0 && fs[j].index > f.index {
-				fs[j+1] = fs[j]
-				j--
-			}
-			fs[j+1] = f
-		}
-		return
-	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].index < fs[j].index })
 }

@@ -88,6 +88,27 @@ func BenchmarkFabricChurnLarge(b *testing.B) {
 	eng.Run()
 }
 
+// TestRecomputeSteadyStateAllocationFree pins the sort-free recompute:
+// once the scratch buffers have grown to the component size, a
+// recomputation whose rates do not change must not allocate — on both
+// the small-component insertion-sort path and the large-component
+// epoch-scan path.
+func TestRecomputeSteadyStateAllocationFree(t *testing.T) {
+	for _, nFlows := range []int{8, 32} { // ≤24 and >24 ordering paths
+		eng := sim.NewEngine()
+		fb := NewFabric(eng, "alloc")
+		l := fb.AddLink("l", 100)
+		for i := 0; i < nFlows; i++ {
+			fb.Start([]*Link{l}, 1e12, 0, nil)
+		}
+		seeds := []*Link{l}
+		fb.recompute(seeds, nil) // warm the scratch buffers
+		if a := testing.AllocsPerRun(100, func() { fb.recompute(seeds, nil) }); a != 0 {
+			t.Errorf("steady-state recompute (%d flows) allocates %v per run, want 0", nFlows, a)
+		}
+	}
+}
+
 // BenchmarkFabricCappedStable measures the steady-state CPU-pool
 // pattern: many rate-capped flows whose caps bind (sum of caps below
 // link capacity), churned by short capped flows. The standing flows'

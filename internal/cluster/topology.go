@@ -81,6 +81,9 @@ type Cluster struct {
 	net     *Fabric
 	uplinks []*Link
 	cfg     Config
+	// totalMemMB caches the cluster-wide container memory; the node set
+	// is fixed once New returns.
+	totalMemMB float64
 }
 
 // New builds a cluster per cfg.
@@ -137,6 +140,9 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		for r := 0; r < racks; r++ {
 			c.uplinks = append(c.uplinks, c.net.AddLink(fmt.Sprintf("rack%d/uplink", r), cfg.UplinkMBps))
 		}
+	}
+	for _, n := range c.Nodes {
+		c.totalMemMB += n.Mem.Capacity
 	}
 	return c
 }
@@ -199,13 +205,7 @@ func (c *Cluster) Fetch(dst *Node, mb, crossRackFrac, rateCap float64, done func
 func (c *Cluster) NetworkFabric() *Fabric { return c.net }
 
 // TotalContainerMemMB returns cluster-wide container memory.
-func (c *Cluster) TotalContainerMemMB() float64 {
-	total := 0.0
-	for _, n := range c.Nodes {
-		total += n.Mem.Capacity
-	}
-	return total
-}
+func (c *Cluster) TotalContainerMemMB() float64 { return c.totalMemMB }
 
 // TotalVCores returns cluster-wide container vcores.
 func (c *Cluster) TotalVCores() int {

@@ -57,15 +57,12 @@ func (t *Tuner) Explain() string {
 
 	best := t.BestConfig()
 	fmt.Fprintf(&b, "recommended configuration:\n")
-	overrides := best.Overrides()
-	if len(overrides) == 0 {
+	if best.NumOverrides() == 0 {
 		fmt.Fprintf(&b, "  (defaults — not enough observations to improve on them)\n")
 	}
-	for _, p := range mrconf.Params() {
-		if v, ok := overrides[p.Name]; ok {
-			fmt.Fprintf(&b, "  %-52s %g (default %g)\n", p.Name, v, p.Default)
-		}
-	}
+	best.EachOverride(func(p mrconf.Param, v float64) {
+		fmt.Fprintf(&b, "  %-52s %g (default %g)\n", p.Name, v, p.Default)
+	})
 	return b.String()
 }
 

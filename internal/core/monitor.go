@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
+	"repro/internal/mrconf"
 )
 
 // Monitor is MRONLINE's centralized monitor (§3): it aggregates the
@@ -31,6 +32,14 @@ type Monitor struct {
 	redSpillRat  metrics.Sample
 	mapDurations metrics.Sample
 	redDurations metrics.Sample
+
+	// mapWS and redWS accumulate the user-code working-set estimates
+	// (heap beside the sort/shuffle buffer) incrementally at ingestion,
+	// so the tuning rules stop re-deriving them from every report on
+	// each recompute. Fed under the same filter and in the same order as
+	// a scan over MapReports/ReduceReports would observe.
+	mapWS metrics.Sample
+	redWS metrics.Sample
 }
 
 // NewMonitor returns a monitor for a job with the given task counts.
@@ -55,6 +64,10 @@ func (m *Monitor) Observe(r mapreduce.TaskReport) {
 			if r.OutputRecords > 0 {
 				m.mapSpillRat.Observe(r.SpilledRecords / r.OutputRecords)
 			}
+			peakHeap := r.MemUtil * r.Config.MapMemMB() * mrconf.HeapFraction
+			if w := peakHeap - mapreduce.JVMBaseMB - r.Config.SortMB(); w > 0 {
+				m.mapWS.Observe(w)
+			}
 		}
 		return
 	}
@@ -70,8 +83,21 @@ func (m *Monitor) Observe(r mapreduce.TaskReport) {
 		if r.OutputRecords > 0 {
 			m.redSpillRat.Observe(r.SpilledRecords / r.OutputRecords)
 		}
+		peakHeap := r.MemUtil * r.Config.ReduceMemMB() * mrconf.HeapFraction
+		w := peakHeap - mapreduce.JVMBaseMB - r.Config.ShuffleBufferPct()*r.Config.ReduceHeapMB()
+		if w > 0 {
+			m.redWS.Observe(w)
+		}
 	}
 }
+
+// MapWorkingSet returns the accumulated map-side user-code working-set
+// sample (heap beside the sort buffer, successful attempts only).
+func (m *Monitor) MapWorkingSet() *metrics.Sample { return &m.mapWS }
+
+// ReduceWorkingSet returns the accumulated reduce-side working-set
+// sample (heap beside the shuffle buffer, successful attempts only).
+func (m *Monitor) ReduceWorkingSet() *metrics.Sample { return &m.redWS }
 
 // TMax returns the slowest observed task time of the given type, the
 // denominator of Eq. 1's relative-time term.

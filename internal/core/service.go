@@ -95,7 +95,7 @@ func (s *Service) Submit(spec mapreduce.Spec, onDone func(mapreduce.Result)) *ma
 		}
 	} else if spec.Controller == nil {
 		base := spec.BaseConfig
-		if len(base.Overrides()) == 0 {
+		if base.NumOverrides() == 0 {
 			base = mrconf.Default()
 		}
 		tuner = NewTuner(spec.Name, b.NumMaps, b.NumReduces, base,

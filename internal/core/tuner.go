@@ -85,6 +85,27 @@ type Tuner struct {
 
 	// conservative state
 	cons consState
+
+	// Percentile caches for the working-set samples: a percentile over
+	// N observations is recomputed only when N changes, since the
+	// samples are append-only.
+	mapWSP95, redWSP95 pctCache
+	mapWSP80, redWSP80 pctCache
+}
+
+// pctCache memoizes one percentile of an append-only sample, keyed by
+// the observation count.
+type pctCache struct {
+	n int
+	v float64
+}
+
+func (c *pctCache) value(s *metrics.Sample, p float64) float64 {
+	if s.N() != c.n {
+		c.n = s.N()
+		c.v = s.Percentile(p)
+	}
+	return c.v
 }
 
 type consState struct {
@@ -491,17 +512,7 @@ func (t *Tuner) materializeWith(cfg mrconf.Config, tt mapreduce.TaskType, safe b
 // needs beside the shuffle buffer: the 80th percentile of observed
 // working sets, or a conservative prior before any reducer finished.
 func (t *Tuner) reduceWorkingSetReserve(safe bool) float64 {
-	var ws metrics.Sample
-	for _, r := range t.mon.ReduceReports() {
-		if r.OOM {
-			continue
-		}
-		peakHeap := r.MemUtil * r.Config.ReduceMemMB() * mrconf.HeapFraction
-		w := peakHeap - mapreduce.JVMBaseMB - r.Config.ShuffleBufferPct()*r.Config.ReduceHeapMB()
-		if w > 0 {
-			ws.Observe(w)
-		}
-	}
+	ws := t.mon.ReduceWorkingSet()
 	if ws.N() == 0 {
 		return 350 // prior: fits every profile in the benchmark suite
 	}
@@ -514,30 +525,20 @@ func (t *Tuner) reduceWorkingSetReserve(safe bool) float64 {
 	// squeezes the buffers out entirely; the occasional straggler OOM
 	// during the test run is handled by the retry path and the cost
 	// penalty.
-	return math.Max(120, ws.Percentile(95)*1.15)
+	return math.Max(120, t.redWSP95.value(ws, 95)*1.15)
 }
 
 // mapWorkingSetReserve mirrors reduceWorkingSetReserve for the map
 // side (heap beside the sort buffer).
 func (t *Tuner) mapWorkingSetReserve(safe bool) float64 {
-	var ws metrics.Sample
-	for _, r := range t.mon.MapReports() {
-		if r.OOM {
-			continue
-		}
-		peakHeap := r.MemUtil * r.Config.MapMemMB() * mrconf.HeapFraction
-		w := peakHeap - mapreduce.JVMBaseMB - r.Config.SortMB()
-		if w > 0 {
-			ws.Observe(w)
-		}
-	}
+	ws := t.mon.MapWorkingSet()
 	if ws.N() == 0 {
 		return 120
 	}
 	if safe {
 		return math.Max(60, ws.Max()*1.3)
 	}
-	return math.Max(60, ws.Percentile(95)*1.15)
+	return math.Max(60, t.mapWSP95.value(ws, 95)*1.15)
 }
 
 // ---------- conservative strategy (§6.1 fast single run) ----------
@@ -576,18 +577,7 @@ func (t *Tuner) recalcConservativeMap() {
 	// Estimate the user-code working set from observed peaks: peak
 	// resident = (JVMBase + sortMB + ws) / heapFraction under the
 	// configuration those tasks ran with.
-	var ws metrics.Sample
-	for _, r := range t.mon.MapReports() {
-		if r.OOM {
-			continue
-		}
-		peakHeap := r.MemUtil * r.Config.MapMemMB() * mrconf.HeapFraction
-		w := peakHeap - mapreduce.JVMBaseMB - r.Config.SortMB()
-		if w > 0 {
-			ws.Observe(w)
-		}
-	}
-	wsMB := math.Max(50, ws.Percentile(80))
+	wsMB := math.Max(50, t.mapWSP80.value(t.mon.MapWorkingSet(), 80))
 	needHeap := mapreduce.JVMBaseMB + sortMB + wsMB
 	o[mrconf.MapMemoryMB] = mrconf.MustLookup(mrconf.MapMemoryMB).Quantize(needHeap * 1.15 / mrconf.HeapFraction)
 
@@ -605,18 +595,7 @@ func (t *Tuner) recalcConservativeReduce() {
 	o := t.cons.redOverrides
 	est, ok := t.mon.EstReduceInputMB()
 	if ok {
-		var ws metrics.Sample
-		for _, r := range t.mon.ReduceReports() {
-			if r.OOM {
-				continue
-			}
-			peakHeap := r.MemUtil * r.Config.ReduceMemMB() * mrconf.HeapFraction
-			w := peakHeap - mapreduce.JVMBaseMB - r.Config.ShuffleBufferPct()*r.Config.ReduceHeapMB()
-			if w > 0 {
-				ws.Observe(w)
-			}
-		}
-		wsMB := math.Max(100, ws.Percentile(80))
+		wsMB := math.Max(100, t.redWSP80.value(t.mon.ReduceWorkingSet(), 80))
 		needHeap := mapreduce.JVMBaseMB + est*1.15 + wsMB
 		o[mrconf.ReduceMemoryMB] = mrconf.MustLookup(mrconf.ReduceMemoryMB).Quantize(needHeap * 1.1 / mrconf.HeapFraction)
 		o[mrconf.ShuffleMemoryLimitPct] = 0.5

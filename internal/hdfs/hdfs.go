@@ -59,6 +59,10 @@ type FileSystem struct {
 	rng     *rand.Rand
 	nextID  int
 	writeAt int // round-robin cursor for first-replica placement
+	// scratch buffers for randomNode; the pick is consumed before the
+	// next call, so the backing arrays are safe to reuse.
+	scratchCand []*cluster.Node
+	scratchCold []*cluster.Node
 }
 
 // New returns a file system over the cluster with the paper's layout:
@@ -130,7 +134,7 @@ func (fs *FileSystem) placeReplicas(first *cluster.Node) []*cluster.Node {
 }
 
 func (fs *FileSystem) randomNode(ok func(*cluster.Node) bool) *cluster.Node {
-	var candidates, cold []*cluster.Node
+	candidates, cold := fs.scratchCand[:0], fs.scratchCold[:0]
 	for _, n := range fs.c.Nodes {
 		if ok(n) {
 			candidates = append(candidates, n)
@@ -139,6 +143,7 @@ func (fs *FileSystem) randomNode(ok func(*cluster.Node) bool) *cluster.Node {
 			}
 		}
 	}
+	fs.scratchCand, fs.scratchCold = candidates, cold
 	if len(cold) > 0 {
 		candidates = cold
 	}

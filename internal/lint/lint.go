@@ -10,6 +10,7 @@
 //	no-global-rand     all randomness flows through seeded *rand.Rand
 //	ordered-map-iter   map iteration order never reaches output/events
 //	conf-key-literal   Hadoop parameter names come from mrconf constants
+//	config-get-in-loop hot scheduling loops read compiled config snapshots
 //	mutex-copy         sync.Mutex / sync.WaitGroup never passed by value
 //
 // Any finding can be suppressed — with a recorded reason — by a
@@ -56,6 +57,7 @@ func All() []*Analyzer {
 		GlobalRandAnalyzer,
 		MapIterAnalyzer,
 		ConfKeyAnalyzer,
+		ConfigGetLoopAnalyzer,
 		MutexCopyAnalyzer,
 	}
 }

@@ -54,8 +54,14 @@ const IOSortMB = "mapreduce.task.io.sort.mb"
 
 type Config struct{ v float64 }
 
-func (c Config) Get(name string) float64           { return c.v }
+func (c Config) Get(name string) float64            { return c.v }
 func (c Config) With(name string, v float64) Config { return Config{v: v} }
+func (c Config) SortMB() float64                    { return c.v }
+func (c Config) Snapshot() Snapshot                 { return Snapshot{v: c.v} }
+
+type Snapshot struct{ v float64 }
+
+func (s *Snapshot) SortMB() float64 { return s.v }
 `
 
 // miniSim gives the ordered-map-iter analyzer an Engine with scheduler
@@ -450,6 +456,146 @@ import "fixture/internal/mrconf"
 func F(c mrconf.Config) float64 {
 	//mrlint:ignore conf-key-literal deliberately unknown key for a panic test
 	return c.Get("mapreduce.no.such.parameter")
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+
+		// ---- config-get-in-loop ----
+		{
+			name: "configloop positive Get in hot-package loop",
+			rule: "config-get-in-loop",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+import "fixture/internal/mrconf"
+func Sum(c mrconf.Config, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += c.Get(mrconf.IOSortMB)
+	}
+	return total
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  1,
+		},
+		{
+			name: "configloop positive named accessor in range loop",
+			rule: "config-get-in-loop",
+			file: "internal/mapreduce/x.go",
+			src: `package mapreduce
+import "fixture/internal/mrconf"
+func Sum(c mrconf.Config, xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x * c.SortMB()
+	}
+	return total
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  1,
+		},
+		{
+			name: "configloop negative cold package",
+			rule: "config-get-in-loop",
+			file: "internal/core/x.go",
+			src: `package core
+import "fixture/internal/mrconf"
+func Sum(c mrconf.Config, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += c.Get(mrconf.IOSortMB)
+	}
+	return total
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "configloop negative call outside loop",
+			rule: "config-get-in-loop",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+import "fixture/internal/mrconf"
+func F(c mrconf.Config) float64 { return c.Get(mrconf.IOSortMB) }
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "configloop negative hoisted snapshot",
+			rule: "config-get-in-loop",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+import "fixture/internal/mrconf"
+func Sum(c mrconf.Config, n int) float64 {
+	s := c.Snapshot()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += s.SortMB()
+	}
+	return total
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "configloop negative Snapshot call inside loop",
+			rule: "config-get-in-loop",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+import "fixture/internal/mrconf"
+func Sum(cs []mrconf.Config) float64 {
+	total := 0.0
+	for _, c := range cs {
+		s := c.Snapshot()
+		total += s.SortMB()
+	}
+	return total
+}
+`,
+			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},
+			want:  0,
+		},
+		{
+			name: "configloop negative test file in hot package",
+			rule: "config-get-in-loop",
+			file: "internal/yarn/x_test.go",
+			src: `package yarn
+import (
+	"testing"
+
+	"fixture/internal/mrconf"
+)
+func TestSum(t *testing.T) {
+	var c mrconf.Config
+	for i := 0; i < 3; i++ {
+		_ = c.Get(mrconf.IOSortMB)
+	}
+}
+`,
+			extra: map[string]string{
+				"internal/mrconf/params.go": miniMrconf,
+				"internal/yarn/x.go":        "package yarn\n",
+			},
+			want: 0,
+		},
+		{
+			name: "configloop ignore directive",
+			rule: "config-get-in-loop",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+import "fixture/internal/mrconf"
+func Sum(c mrconf.Config, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += c.Get(mrconf.IOSortMB) //mrlint:ignore config-get-in-loop one-shot setup loop
+	}
+	return total
 }
 `,
 			extra: map[string]string{"internal/mrconf/params.go": miniMrconf},

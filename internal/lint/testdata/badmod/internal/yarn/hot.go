@@ -1,0 +1,16 @@
+// Package yarn is a miniature hot-package stand-in: its import-path
+// suffix matches internal/yarn, so the config-get-in-loop analyzer
+// treats it as a scheduling hot path.
+package yarn
+
+import "badmod/internal/mrconf"
+
+// SumInLoop violates config-get-in-loop: the string-keyed lookup runs
+// once per iteration instead of being hoisted into a snapshot.
+func SumInLoop(c mrconf.Config, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += c.Get(mrconf.IOSortMB) // want config-get-in-loop
+	}
+	return total
+}

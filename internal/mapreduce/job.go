@@ -18,8 +18,11 @@ import (
 type Job struct {
 	Name string
 
-	spec  Spec
-	bench workload.Benchmark
+	spec Spec
+	// baseSnap is spec.BaseConfig compiled once at submission; pump
+	// reads window sizes from it on every scheduling pass.
+	baseSnap mrconf.Snapshot
+	bench    workload.Benchmark
 	eng   *sim.Engine
 	rm    *yarn.ResourceManager
 	fs    *hdfs.FileSystem
@@ -78,6 +81,7 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 		startTime: rm.Engine().Now(),
 		onDone:    onDone,
 	}
+	j.baseSnap = s.BaseConfig.Snapshot()
 	j.app = rm.Submit(s.Name, s.Weight)
 
 	src := sim.NewSource(uint64(len(s.Name))*1e9 + uint64(s.Benchmark.NumMaps)).Sub("job:" + s.Name)
@@ -158,7 +162,7 @@ func (j *Job) pump() {
 	// enqueueing every task at submission; modelling that window is
 	// what lets MRONLINE bind a task's configuration shortly before
 	// launch (the per-task configuration files of §4).
-	mapWindow := j.requestWindow(j.spec.BaseConfig.MapMemMB())
+	mapWindow := j.requestWindow(j.baseSnap.MapMemMB())
 	for j.nextMapReq < len(j.mapTasks) && float64(j.nextMapReq-j.completedMaps) < mapWindow {
 		t := j.mapTasks[j.nextMapReq]
 		if !j.ctrl.AllowLaunch(t) {
@@ -172,14 +176,15 @@ func (j *Job) pump() {
 		slowstartMet = true
 	}
 	if slowstartMet {
-		reduceWindow := j.requestWindow(j.spec.BaseConfig.ReduceMemMB())
+		reduceWindow := j.requestWindow(j.baseSnap.ReduceMemMB())
 		for j.nextReduceReq < len(j.reduceTasks) && float64(j.nextReduceReq-j.completedReduces) < reduceWindow {
 			t := j.reduceTasks[j.nextReduceReq]
 			if !j.ctrl.AllowLaunch(t) {
 				break
 			}
 			cfg := j.taskConfig(t)
-			if !j.reduceHeadroomOK(cfg.ReduceMemMB()) {
+			snap := cfg.Snapshot()
+			if !j.reduceHeadroomOK(snap.ReduceMemMB()) {
 				break
 			}
 			j.requestContainerWithConfig(t, cfg)
@@ -217,17 +222,17 @@ func (j *Job) requestContainer(t *Task) {
 }
 
 func (j *Job) requestContainerWithConfig(t *Task, cfg mrconf.Config) {
-	t.Config = cfg
+	t.setConfig(cfg)
 	t.State = TaskRequested
 	var shape yarn.Resource
 	var prefs []*cluster.Node
 	if t.Type == MapTask {
-		shape = yarn.Resource{MemMB: cfg.MapMemMB(), VCores: cfg.MapVcores()}
+		shape = yarn.Resource{MemMB: t.snap.MapMemMB(), VCores: t.snap.MapVcores()}
 		if t.Split != nil {
 			prefs = t.Split.Replicas
 		}
 	} else {
-		shape = yarn.Resource{MemMB: cfg.ReduceMemMB(), VCores: cfg.ReduceVcores()}
+		shape = yarn.Resource{MemMB: t.snap.ReduceMemMB(), VCores: t.snap.ReduceVcores()}
 		j.reduceMemHeld += shape.MemMB
 	}
 	req := &yarn.Request{
@@ -265,16 +270,15 @@ func (j *Job) releaseTask(t *Task) {
 }
 
 func (j *Job) report(t *Task, oom bool) TaskReport {
-	c := t.Config
 	duration := t.EndTime - t.StartTime
 	var contMem float64
 	var coreCap float64
 	if t.Type == MapTask {
-		contMem = c.MapMemMB()
-		coreCap = float64(c.MapVcores())
+		contMem = t.snap.MapMemMB()
+		coreCap = float64(t.snap.MapVcores())
 	} else {
-		contMem = c.ReduceMemMB()
-		coreCap = float64(c.ReduceVcores())
+		contMem = t.snap.ReduceMemMB()
+		coreCap = float64(t.snap.ReduceVcores())
 	}
 	// Core ratio is per-node on heterogeneous clusters.
 	ratio := j.rm.Cluster().Nodes[0].CoreRatio()
@@ -300,7 +304,7 @@ func (j *Job) report(t *Task, oom bool) TaskReport {
 	}
 	return TaskReport{
 		JobName: j.Name, Type: t.Type, ID: t.ID, Attempt: t.Attempt,
-		Config: c, Node: node,
+		Config: t.Config, Node: node,
 		Start: t.StartTime, End: t.EndTime,
 		CPUUtil: cpuUtil, MemUtil: memUtil,
 		SpilledRecords: t.spilledRec, OutputRecords: t.outputRec,
@@ -344,7 +348,7 @@ func (j *Job) taskSucceeded(t *Task) {
 		}
 	} else {
 		j.completedReduces++
-		j.reduceMemHeld -= t.Config.ReduceMemMB()
+		j.reduceMemHeld -= t.snap.ReduceMemMB()
 	}
 	if j.completedMaps == len(j.mapTasks) && j.completedReduces == len(j.reduceTasks) {
 		j.finish(nil)
@@ -367,7 +371,7 @@ func (j *Job) taskFailed(t *Task, reason error) {
 		j.liveShadows--
 		t.specOrigin.specCopy = nil
 		if t.Type == ReduceTask {
-			j.reduceMemHeld -= t.Config.ReduceMemMB()
+			j.reduceMemHeld -= t.snap.ReduceMemMB()
 		}
 		j.releaseTask(t)
 		j.pump()
@@ -382,7 +386,7 @@ func (j *Job) taskFailed(t *Task, reason error) {
 	j.reports = append(j.reports, r)
 	j.ctrl.TaskCompleted(r)
 	if t.Type == ReduceTask {
-		j.reduceMemHeld -= t.Config.ReduceMemMB()
+		j.reduceMemHeld -= t.snap.ReduceMemMB()
 		// Drop any reducer runtime state; the retry re-registers.
 		for i, rr := range j.activeReducers {
 			if rr.task == t {

@@ -49,8 +49,7 @@ func (j *Job) mapMain(t *Task) {
 	if j.finished || t.killed {
 		return
 	}
-	cfg := j.ctrl.LiveConfig(t, t.Config) // category-3 params may have moved
-	t.Config = cfg
+	t.setConfig(j.ctrl.LiveConfig(t, t.Config)) // category-3 params may have moved
 	p := j.bench.Profile
 	node := t.container.Node
 
@@ -61,7 +60,7 @@ func (j *Job) mapMain(t *Task) {
 	rawOutMB := (inputMB*p.RawMapSelectivity + p.MapFixedOutputMB) * t.Skew
 	combinedMB := rawOutMB * p.CombinerReduction
 
-	bufferMB := cfg.SortMB() * cfg.SpillPct()
+	bufferMB := t.snap.SortMB() * t.snap.SpillPct()
 	numSpills := 1
 	if rawOutMB > bufferMB && bufferMB > 0 {
 		numSpills = int(math.Ceil(rawOutMB / bufferMB))
@@ -69,14 +68,14 @@ func (j *Job) mapMain(t *Task) {
 
 	// Memory feasibility: heap must hold the sort buffer plus the map
 	// function's working set.
-	heapNeedMB := JVMBaseMB + cfg.SortMB() + p.MapWorkingSetMB*math.Sqrt(t.Skew)
+	heapNeedMB := JVMBaseMB + t.snap.SortMB() + p.MapWorkingSetMB*math.Sqrt(t.Skew)
 	t.peakMemMB = heapNeedMB / mrconf.HeapFraction // resident ≈ heap use / heap fraction
 	coreCap := math.Min(MapComputeParallelism, math.Max(t.container.CoreCap(), BurstFloorCores))
 	cpuSecs := inputMB*p.MapCPUPerMB*t.Skew + p.MapFixedCPUSecs*t.Skew + rawOutMB*p.SortCPUPerMB
 
-	if heapNeedMB > cfg.MapHeapMB() {
+	if heapNeedMB > t.snap.MapHeapMB() {
 		// The JVM dies partway through filling the buffer.
-		frac := cfg.MapHeapMB() / heapNeedMB
+		frac := t.snap.MapHeapMB() / heapNeedMB
 		failAfter := math.Max(2, cpuSecs/coreCap*frac)
 		t.cpuSecs = cpuSecs * frac
 		j.eng.After(failAfter, func() { j.taskFailed(t, errOOM) })
@@ -89,7 +88,7 @@ func (j *Job) mapMain(t *Task) {
 	overlapMB := 0.0
 	if numSpills > 1 {
 		eff := 1.0
-		if cfg.SpillPct() > 0.9 {
+		if t.snap.SpillPct() > 0.9 {
 			// Too little headroom: the collector blocks while spilling.
 			eff = PipelineEfficiencyHighSpillPct
 		}
@@ -119,10 +118,9 @@ func (j *Job) mapMerge(t *Task, combinedMB, overlapMB float64, numSpills int) {
 	if j.finished || t.killed {
 		return
 	}
-	cfg := t.Config
 	p := j.bench.Profile
 	node := t.container.Node
-	passes := mergePasses(numSpills, cfg.SortFactor())
+	passes := mergePasses(numSpills, t.snap.SortFactor())
 
 	finalSpillMB := combinedMB - overlapMB
 	// Merge passes write their output through the disk; the reads hit

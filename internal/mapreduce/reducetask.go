@@ -56,16 +56,15 @@ func (j *Job) reduceMain(t *Task) {
 	if j.finished || t.killed {
 		return
 	}
-	cfg := j.ctrl.LiveConfig(t, t.Config)
-	t.Config = cfg
+	t.setConfig(j.ctrl.LiveConfig(t, t.Config))
 	p := j.bench.Profile
 
 	share := j.reduceShare[t.ID]
 	estTotalMB := j.bench.ShuffleSizeMB * share
 
-	heap := cfg.ReduceHeapMB()
-	shuffleBufMB := cfg.ShuffleBufferPct() * heap
-	retainMB := math.Min(math.Min(estTotalMB, shuffleBufMB), cfg.ReduceInputBufPct()*heap)
+	heap := t.snap.ReduceHeapMB()
+	shuffleBufMB := t.snap.ShuffleBufferPct() * heap
+	retainMB := math.Min(math.Min(estTotalMB, shuffleBufMB), t.snap.ReduceInputBufPct()*heap)
 
 	// Peak heap: during shuffle the filled part of the buffer (the
 	// shuffle buffer is allocated lazily, segment by segment, unlike
@@ -88,15 +87,15 @@ func (j *Job) reduceMain(t *Task) {
 	// Segment routing: average segment size vs the in-memory fetch
 	// limit decides whether fetches land in memory or stream to disk.
 	segMB := estTotalMB / math.Max(1, float64(len(j.mapTasks)))
-	segToMem := segMB <= cfg.MemoryLimitPct()*shuffleBufMB
+	segToMem := segMB <= t.snap.MemoryLimitPct()*shuffleBufMB
 	var diskMB float64
 	if !segToMem || shuffleBufMB <= 0 {
 		diskMB = estTotalMB
 		r.numDiskSegs = len(j.mapTasks)
 	} else {
 		diskMB = math.Max(0, estTotalMB-retainMB)
-		flushUnit := cfg.MergePct() * shuffleBufMB
-		if th := cfg.InmemThreshold(); th > 0 {
+		flushUnit := t.snap.MergePct() * shuffleBufMB
+		if th := t.snap.InmemThreshold(); th > 0 {
 			flushUnit = math.Min(flushUnit, float64(th)*segMB)
 		}
 		flushUnit = math.Max(flushUnit, 1)
@@ -150,8 +149,7 @@ func (j *Job) tryFetch(r *reduceRun) {
 	chunk := avail
 	r.busy = true
 	r.fetchingMB = chunk
-	cfg := t.Config
-	rateCap := float64(cfg.ParallelCopies()) * ShuffleStreamMBps
+	rateCap := float64(t.snap.ParallelCopies()) * ShuffleStreamMBps
 
 	diskPart := chunk * r.diskFrac
 	flows := 1
@@ -177,7 +175,6 @@ func (j *Job) reduceSort(r *reduceRun) {
 		return
 	}
 	t := r.task
-	cfg := t.Config
 	p := j.bench.Profile
 	node := t.container.Node
 
@@ -186,8 +183,8 @@ func (j *Job) reduceSort(r *reduceRun) {
 	r.pendingInMB = totalIn
 
 	extraPasses := 0
-	if r.numDiskSegs > cfg.SortFactor() {
-		extraPasses = mergePasses(r.numDiskSegs, cfg.SortFactor()) - 1
+	if r.numDiskSegs > t.snap.SortFactor() {
+		extraPasses = mergePasses(r.numDiskSegs, t.snap.SortFactor()) - 1
 	}
 	readMB := diskMB + 2*diskMB*float64(extraPasses)
 	spilledMB := diskMB + diskMB*float64(extraPasses)

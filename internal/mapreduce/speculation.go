@@ -143,7 +143,7 @@ func (j *Job) taskPreempted(t *Task) {
 	}
 	t.liveFlows = nil
 	if t.Type == ReduceTask {
-		j.reduceMemHeld -= t.Config.ReduceMemMB()
+		j.reduceMemHeld -= t.snap.ReduceMemMB()
 		for i, rr := range j.activeReducers {
 			if rr.task == t {
 				j.activeReducers = append(j.activeReducers[:i], j.activeReducers[i+1:]...)
@@ -190,7 +190,7 @@ func (j *Job) killAttempt(t *Task) {
 		t.pendingReq = nil
 	}
 	if t.Type == ReduceTask {
-		j.reduceMemHeld -= t.Config.ReduceMemMB()
+		j.reduceMemHeld -= t.snap.ReduceMemMB()
 		for i, rr := range j.activeReducers {
 			if rr.task == t {
 				j.activeReducers = append(j.activeReducers[:i], j.activeReducers[i+1:]...)

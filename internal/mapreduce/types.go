@@ -67,8 +67,12 @@ type Task struct {
 	Split *hdfs.Block
 
 	// Config is the configuration of the current attempt, assigned by
-	// the Controller when the container was requested.
+	// the Controller when the container was requested. Always set via
+	// setConfig so the compiled snapshot stays in sync.
 	Config mrconf.Config
+	// snap is Config compiled to a dense array (see mrconf.Snapshot);
+	// per-event parameter reads go through it.
+	snap mrconf.Snapshot
 
 	State     TaskState
 	StartTime float64
@@ -255,6 +259,13 @@ func (s *Spec) withDefaults() Spec {
 
 func (t *Task) String() string {
 	return fmt.Sprintf("%s/%s-%05d", t.Job.Name, t.Type, t.ID)
+}
+
+// setConfig installs the attempt's configuration and compiles it once;
+// the task's event handlers read parameters through t.snap afterwards.
+func (t *Task) setConfig(cfg mrconf.Config) {
+	t.Config = cfg
+	t.snap = cfg.Snapshot()
 }
 
 // Runtime model constants. These are substrate calibration, not tuning

@@ -47,6 +47,16 @@ func (c Config) With(name string, value float64) Config {
 		panic(fmt.Sprintf("mrconf: non-finite value %v for %s", value, name))
 	}
 	v := p.Quantize(value)
+	// Fast path: the effective value is unchanged, so the receiver can
+	// be returned as-is — override maps are never mutated after
+	// construction, making the share safe.
+	if cur, ok := c.overrides[name]; ok {
+		if cur == v {
+			return c
+		}
+	} else if v == p.Default {
+		return c
+	}
 	out := Config{overrides: make(map[string]float64, len(c.overrides)+1)}
 	for k, ov := range c.overrides {
 		out.overrides[k] = ov
@@ -79,13 +89,32 @@ func (c Config) Equal(other Config) bool {
 	return true
 }
 
-// Overrides returns the non-default assignments, for reporting.
+// Overrides returns the non-default assignments, for reporting. Each
+// call copies the map; callers that only need to iterate or count
+// should use EachOverride or NumOverrides instead.
 func (c Config) Overrides() map[string]float64 {
 	out := make(map[string]float64, len(c.overrides))
 	for k, v := range c.overrides {
 		out[k] = v
 	}
 	return out
+}
+
+// NumOverrides returns the number of non-default assignments without
+// copying them.
+func (c Config) NumOverrides() int { return len(c.overrides) }
+
+// EachOverride calls fn for every non-default assignment in registry
+// order, without allocating.
+func (c Config) EachOverride(fn func(p Param, v float64)) {
+	if len(c.overrides) == 0 {
+		return
+	}
+	for _, p := range registry {
+		if v, ok := c.overrides[p.Name]; ok {
+			fn(p, v)
+		}
+	}
 }
 
 // String renders the non-default assignments in a stable order.

@@ -109,6 +109,32 @@ const (
 	ReduceSlowstartPercent = "mapreduce.job.reduce.slowstart.completedmaps" // category 1, not tuned
 )
 
+// ParamID is a dense index into the registry, used by Snapshot for
+// array-indexed (rather than string-hashed) parameter access on the
+// simulation hot path.
+type ParamID int
+
+// Registry indices, in registry order. These are fixed by the Table 2
+// ordering; an init-time assertion below keeps them in sync.
+const (
+	IDMapMemoryMB ParamID = iota
+	IDReduceMemoryMB
+	IDIOSortMB
+	IDSortSpillPercent
+	IDShuffleInputBufferPct
+	IDShuffleMergePct
+	IDShuffleMemoryLimitPct
+	IDMergeInmemThreshold
+	IDReduceInputBufferPct
+	IDMapCPUVcores
+	IDReduceCPUVcores
+	IDIOSortFactor
+	IDShuffleParallelCopies
+
+	// NumParams is the registry size; Snapshot's backing array length.
+	NumParams
+)
+
 // registry holds the Table 2 parameters in a stable order.
 var registry = []Param{
 	{MapMemoryMB, 1024, 512, 4096, 64, CategoryTaskLaunch, ScopeMap,
@@ -146,6 +172,54 @@ var byName = func() map[string]Param {
 	}
 	return m
 }()
+
+// idByName maps parameter names to their dense registry index.
+var idByName = func() map[string]ParamID {
+	m := make(map[string]ParamID, len(registry))
+	for i, p := range registry {
+		m[p.Name] = ParamID(i)
+	}
+	return m
+}()
+
+func init() {
+	// The ParamID constants must mirror the registry ordering exactly;
+	// a drift here would silently misroute Snapshot reads.
+	if len(registry) != int(NumParams) {
+		panic(fmt.Sprintf("mrconf: registry has %d params, NumParams is %d",
+			len(registry), int(NumParams)))
+	}
+	want := []struct {
+		id   ParamID
+		name string
+	}{
+		{IDMapMemoryMB, MapMemoryMB},
+		{IDReduceMemoryMB, ReduceMemoryMB},
+		{IDIOSortMB, IOSortMB},
+		{IDSortSpillPercent, SortSpillPercent},
+		{IDShuffleInputBufferPct, ShuffleInputBufferPct},
+		{IDShuffleMergePct, ShuffleMergePct},
+		{IDShuffleMemoryLimitPct, ShuffleMemoryLimitPct},
+		{IDMergeInmemThreshold, MergeInmemThreshold},
+		{IDReduceInputBufferPct, ReduceInputBufferPct},
+		{IDMapCPUVcores, MapCPUVcores},
+		{IDReduceCPUVcores, ReduceCPUVcores},
+		{IDIOSortFactor, IOSortFactor},
+		{IDShuffleParallelCopies, ShuffleParallelCopies},
+	}
+	for _, w := range want {
+		if registry[w.id].Name != w.name {
+			panic(fmt.Sprintf("mrconf: ParamID %d expects %q, registry has %q",
+				int(w.id), w.name, registry[w.id].Name))
+		}
+	}
+}
+
+// ID returns the dense registry index for name.
+func ID(name string) (ParamID, bool) {
+	id, ok := idByName[name]
+	return id, ok
+}
 
 // Params returns all tunable parameters in registry order.
 func Params() []Param {

@@ -1,0 +1,64 @@
+package mrconf
+
+import "testing"
+
+// TestSnapshotMatchesConfig pins the compile step: every typed
+// accessor on a snapshot must agree with the string-keyed lookup on
+// the config it was compiled from, for defaults and for overrides.
+func TestSnapshotMatchesConfig(t *testing.T) {
+	cfgs := []Config{
+		Default(),
+		Default().With(IOSortMB, 412).With(MapMemoryMB, 1536).With(ShuffleParallelCopies, 10),
+	}
+	for _, cfg := range cfgs {
+		s := cfg.Snapshot()
+		for _, p := range Params() {
+			id, ok := ID(p.Name)
+			if !ok {
+				t.Fatalf("no ParamID for %s", p.Name)
+			}
+			if got, want := s.Get(id), cfg.Get(p.Name); got != want {
+				t.Errorf("snapshot %s = %g, config says %g", p.Name, got, want)
+			}
+		}
+		if s.MapHeapMB() != cfg.MapHeapMB() {
+			t.Errorf("MapHeapMB: snapshot %g, config %g", s.MapHeapMB(), cfg.MapHeapMB())
+		}
+		if s.ReduceHeapMB() != cfg.ReduceHeapMB() {
+			t.Errorf("ReduceHeapMB: snapshot %g, config %g", s.ReduceHeapMB(), cfg.ReduceHeapMB())
+		}
+	}
+}
+
+// TestSnapshotReadsAllocationFree pins the whole point of the type:
+// compiling a snapshot and reading it never touches the heap.
+func TestSnapshotReadsAllocationFree(t *testing.T) {
+	cfg := Default().With(IOSortMB, 412).With(MapMemoryMB, 1536)
+	s := cfg.Snapshot()
+	var sink float64
+	if a := testing.AllocsPerRun(100, func() {
+		sink += s.SortMB() + s.MapMemMB() + s.ReduceHeapMB() + s.Get(IDSortSpillPercent)
+	}); a != 0 {
+		t.Errorf("snapshot reads allocate %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		snap := cfg.Snapshot()
+		sink += snap.SortMB()
+	}); a != 0 {
+		t.Errorf("Snapshot() allocates %v per run, want 0", a)
+	}
+	_ = sink
+}
+
+// BenchmarkConfigSnapshot measures the compile-once cost a task pays
+// at setup, plus a representative read mix (what the inner loops do).
+func BenchmarkConfigSnapshot(b *testing.B) {
+	cfg := Default().With(IOSortMB, 412).With(MapMemoryMB, 1536).With(ShuffleParallelCopies, 10)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		s := cfg.Snapshot()
+		sink += s.SortMB() + s.SpillPct() + s.MapHeapMB() + float64(s.SortFactor())
+	}
+	_ = sink
+}

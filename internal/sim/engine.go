@@ -130,6 +130,30 @@ func (e *Engine) After(d float64, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Reschedule moves a still-queued event to absolute time t, keeping
+// its callback. It is exactly equivalent to Cancel(ev) followed by
+// At(t, fn) with the event's own fn — including consuming one
+// sequence number, so same-instant ordering against other events is
+// unchanged — but reuses the Event instead of abandoning it (canceled
+// events are never recycled; see Cancel). The event must still be
+// queued: rescheduling a fired or canceled event panics.
+func (e *Engine) Reschedule(ev *Event, t float64) *Event {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		panic("sim: Reschedule of a fired or canceled event")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %.9f before now %.9f", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: rescheduling event at non-finite time %v", t))
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.pq, ev.index)
+	return ev
+}
+
 // Cancel removes ev from the queue. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {

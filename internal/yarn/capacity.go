@@ -15,6 +15,8 @@ type CapacityScheduler struct {
 	queues   []*Queue
 	byName   map[string]*Queue
 	appQueue map[string]string // app name -> queue name
+	// usedBy is Pick's per-call scratch (cleared, not reallocated).
+	usedBy map[*Queue]float64
 }
 
 // Queue is one capacity-scheduler queue.
@@ -37,6 +39,7 @@ func NewCapacityScheduler(queues []Queue) *CapacityScheduler {
 	s := &CapacityScheduler{
 		byName:   make(map[string]*Queue, len(queues)),
 		appQueue: make(map[string]string),
+		usedBy:   make(map[*Queue]float64, len(queues)),
 	}
 	hasDefault := false
 	for i := range queues {
@@ -93,7 +96,10 @@ func (s *CapacityScheduler) Pick(apps []*App, node *cluster.Node) int {
 		return -1
 	}
 	totalMem := apps[0].rm.Cluster().TotalContainerMemMB()
-	usedBy := make(map[*Queue]float64, len(s.queues))
+	usedBy := s.usedBy
+	for q := range usedBy {
+		delete(usedBy, q)
+	}
 	for _, app := range apps {
 		usedBy[s.queueOf(app)] += app.usedMemMB
 	}

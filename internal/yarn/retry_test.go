@@ -1,0 +1,126 @@
+package yarn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestRelaxRetryCoalescing pins the wakeup coalescing: K locality-
+// restricted requests enqueued at the same instant on a full cluster
+// share their delay-scheduling expiries, so exactly two retry wakeups
+// are scheduled in total (rack delay, then off-rack delay) — not 2K.
+func TestRelaxRetryCoalescing(t *testing.T) {
+	eng, c, rm := newRMQuiet(FIFOScheduler{})
+	holder := rm.Submit("holder", 1)
+	for range c.Nodes {
+		holder.Request(&Request{
+			Resource:   Resource{MemMB: c.Nodes[0].Mem.Capacity, VCores: c.Nodes[0].VCores},
+			OnAllocate: func(*Container) {}, // held forever
+		})
+	}
+	eng.Run()
+	if got := rm.RetryWakeupsScheduled(); got != 0 {
+		t.Fatalf("wakeups after fill = %d, want 0", got)
+	}
+
+	app := rm.Submit("blocked", 1)
+	const K = 16
+	for i := 0; i < K; i++ {
+		app.Request(&Request{
+			Resource:       Resource{MemMB: 1024, VCores: 1},
+			PreferredNodes: []*cluster.Node{c.Nodes[i%len(c.Nodes)]},
+		})
+	}
+	eng.Run()
+	// One wakeup at enqueued+RackDelay, one at enqueued+OffRackDelay,
+	// shared by all K requests.
+	if got := rm.RetryWakeupsScheduled(); got != 2 {
+		t.Fatalf("retry wakeups = %d, want 2 for %d same-instant requests", got, K)
+	}
+	if app.Pending() != K {
+		t.Fatalf("pending = %d, want %d (cluster is full)", app.Pending(), K)
+	}
+}
+
+// TestPlacementDeterministicAcrossRuns runs an identical mixed
+// place/release workload on two fresh engines and requires the full
+// allocation trace — container IDs, nodes, and simulated timestamps —
+// to match event for event. This is the same-seed identity guarantee
+// the free-capacity index and wakeup coalescing must preserve.
+func TestPlacementDeterministicAcrossRuns(t *testing.T) {
+	trace := func() []string {
+		eng := sim.NewEngine()
+		c := cluster.New(eng, cluster.PaperConfig())
+		rm := NewResourceManager(eng, c, FairScheduler{})
+		var log []string
+		shapes := []Resource{
+			{MemMB: 1024, VCores: 2},
+			{MemMB: 2048, VCores: 4},
+			{MemMB: 1536, VCores: 2},
+		}
+		for a := 0; a < 3; a++ {
+			app := rm.Submit(fmt.Sprintf("app%d", a), float64(a+1))
+			for i := 0; i < 40; i++ {
+				i := i
+				name := app.Name
+				app.Request(&Request{
+					Resource:       shapes[(a+i)%len(shapes)],
+					PreferredNodes: []*cluster.Node{c.Nodes[(a*7+i*5)%len(c.Nodes)]},
+					OnAllocate: func(cont *Container) {
+						log = append(log, fmt.Sprintf("%.6f %s c%d %s %v",
+							eng.Now(), name, cont.ID, cont.Node.Name, cont.Resource))
+						eng.After(1.5+float64(i%4), func() { rm.Release(cont) })
+					},
+				})
+			}
+		}
+		eng.Run()
+		return log
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at event %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+	if len(a) != 120 {
+		t.Fatalf("trace has %d allocations, want 120", len(a))
+	}
+}
+
+// TestFreeCapacityIndexMirrorsMemPools churns placements and releases
+// and checks after every step that the RM's free-capacity mirror
+// arrays agree bit-for-bit with the nodes' MemPool accounting.
+func TestFreeCapacityIndexMirrorsMemPools(t *testing.T) {
+	eng, c, rm := newRMQuiet(FIFOScheduler{})
+	check := func(when string) {
+		for i, n := range c.Nodes {
+			if rm.nodeUsedMem[i] != n.Mem.Used() {
+				t.Fatalf("%s: node %d mirror=%v pool=%v", when, i, rm.nodeUsedMem[i], n.Mem.Used())
+			}
+		}
+	}
+	app := rm.Submit("mirror", 1)
+	var live []*Container
+	for i := 0; i < 60; i++ {
+		app.Request(&Request{
+			Resource: Resource{MemMB: 700 + float64(i%5)*256, VCores: 1 + i%3},
+			OnAllocate: func(cont *Container) {
+				live = append(live, cont)
+				check("after place")
+			},
+		})
+	}
+	eng.Run()
+	check("after churn")
+	for _, cont := range live {
+		rm.Release(cont)
+		check("after release")
+	}
+}

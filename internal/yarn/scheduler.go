@@ -44,10 +44,12 @@ func (FairScheduler) Pick(apps []*App, node *cluster.Node) int {
 	return best
 }
 
-// hasFittingRequest reports whether any pending request fits node.
+// hasFittingRequest reports whether any pending request fits node. It
+// scans the app's distinct pending shapes rather than every request;
+// fitting is purely shape-based, so the answer is identical.
 func (a *App) hasFittingRequest(node *cluster.Node) bool {
-	for _, req := range a.pending {
-		if a.rm.fits(node, req.Resource) {
+	for i := range a.pendingShapes {
+		if a.rm.fits(node, a.pendingShapes[i].r) {
 			return true
 		}
 	}

@@ -62,18 +62,58 @@ type Request struct {
 	enqueued float64
 }
 
+// shapeCount tracks how many pending requests share one resource shape.
+// Distinct shapes stay few (one per task type per configuration wave),
+// so a linear scan beats hashing on the placement hot path.
+type shapeCount struct {
+	r Resource
+	n int
+}
+
+// addShape records one more pending request of shape r.
+func addShape(shapes []shapeCount, r Resource) []shapeCount {
+	for i := range shapes {
+		if shapes[i].r == r {
+			shapes[i].n++
+			return shapes
+		}
+	}
+	return append(shapes, shapeCount{r: r, n: 1})
+}
+
+// removeShape drops one pending request of shape r (swap-removing the
+// entry when its count reaches zero; shape-set queries are
+// order-independent).
+func removeShape(shapes []shapeCount, r Resource) []shapeCount {
+	for i := range shapes {
+		if shapes[i].r == r {
+			shapes[i].n--
+			if shapes[i].n == 0 {
+				last := len(shapes) - 1
+				shapes[i] = shapes[last]
+				shapes = shapes[:last]
+			}
+			return shapes
+		}
+	}
+	panic(fmt.Sprintf("yarn: removing untracked pending shape %v", r))
+}
+
 // App is an application registered with the resource manager.
 type App struct {
 	ID     int
 	Name   string
 	Weight float64 // fair-share weight
 
-	rm        *ResourceManager
-	pending   []*Request
-	usedMemMB float64
-	usedVC    int
-	running   int
-	finished  bool
+	rm      *ResourceManager
+	pending []*Request
+	// pendingShapes summarizes pending by distinct resource shape, so
+	// fitting checks touch shapes instead of every request.
+	pendingShapes []shapeCount
+	usedMemMB     float64
+	usedVC        int
+	running       int
+	finished      bool
 }
 
 // UsedMemMB returns the memory currently allocated to the app.
@@ -107,9 +147,29 @@ type ResourceManager struct {
 	assignCur   int // round-robin node cursor
 	assigning   bool
 	shapeCounts map[Resource]int // the §4 "hash map" of container shapes
-	vcUsed      map[*cluster.Node]int
-	liveByApp   map[*App][]*Container
-	preemptions int
+	// shapeOrder records first-allocation order of distinct shapes so
+	// EachShape iterates deterministically.
+	shapeOrder []Resource
+	liveByApp  map[*App][]*Container
+	// Free-capacity index: per-node used/capacity arrays keyed by the
+	// dense Node.ID, mirroring each node's MemPool arithmetic exactly so
+	// that fits() is two array loads instead of a method call plus a map
+	// probe. nodeUsedMem tracks MemPool.used bit-for-bit (yarn is the
+	// pool's only writer); the pool itself still sees every
+	// Allocate/Release for its utilization meters.
+	nodeCapMem  []float64
+	nodeUsedMem []float64
+	nodeUsedVC  []int
+	nodeVCores  []int
+	// pendingShapes aggregates all apps' pending shapes; totalPending
+	// counts pending requests so assign can skip empty passes.
+	pendingShapes []shapeCount
+	totalPending  int
+	// retryAt is the expiry of the latest scheduled relax-retry wakeup
+	// (-1 when none); duplicate wakeups at the same instant coalesce.
+	retryAt        float64
+	retryScheduled int
+	preemptions    int
 	// SchedulingDelay adds latency between a container becoming
 	// available and the task launch, modelling heartbeat granularity.
 	SchedulingDelay float64
@@ -130,17 +190,31 @@ type ResourceManager struct {
 // NewResourceManager returns an RM over the cluster with the given
 // scheduling policy.
 func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *ResourceManager {
-	return &ResourceManager{
+	rm := &ResourceManager{
 		eng: eng, c: c, sched: sched,
 		shapeCounts:     make(map[Resource]int),
-		vcUsed:          make(map[*cluster.Node]int),
 		liveByApp:       make(map[*App][]*Container),
 		SchedulingDelay: 0.5,
 		RackDelay:       2,
 		OffRackDelay:    5,
 
 		HotSpotFallbackDelay: 15,
+		retryAt:              -1,
 	}
+	n := len(c.Nodes)
+	rm.nodeCapMem = make([]float64, n)
+	rm.nodeUsedMem = make([]float64, n)
+	rm.nodeUsedVC = make([]int, n)
+	rm.nodeVCores = make([]int, n)
+	for i, node := range c.Nodes {
+		if node.ID != i {
+			panic(fmt.Sprintf("yarn: node %s has ID %d at index %d", node.Name, node.ID, i))
+		}
+		rm.nodeCapMem[i] = node.Mem.Capacity
+		rm.nodeUsedMem[i] = node.Mem.Used()
+		rm.nodeVCores[i] = node.VCores
+	}
+	return rm
 }
 
 // Cluster returns the managed cluster.
@@ -167,7 +241,12 @@ func (a *App) Finish() {
 		return
 	}
 	a.finished = true
+	for _, req := range a.pending {
+		a.rm.pendingShapes = removeShape(a.rm.pendingShapes, req.Resource)
+		a.rm.totalPending--
+	}
 	a.pending = nil
+	a.pendingShapes = nil
 	apps := a.rm.apps[:0]
 	for _, app := range a.rm.apps {
 		if app != a {
@@ -192,6 +271,9 @@ func (a *App) Request(req *Request) {
 	req.index = len(a.pending)
 	req.enqueued = a.rm.eng.Now()
 	a.pending = append(a.pending, req)
+	a.pendingShapes = addShape(a.pendingShapes, req.Resource)
+	a.rm.pendingShapes = addShape(a.rm.pendingShapes, req.Resource)
+	a.rm.totalPending++
 	a.rm.kick()
 }
 
@@ -203,6 +285,9 @@ func (a *App) CancelRequest(req *Request) bool {
 			for j := i; j < len(a.pending); j++ {
 				a.pending[j].index = j
 			}
+			a.pendingShapes = removeShape(a.pendingShapes, req.Resource)
+			a.rm.pendingShapes = removeShape(a.rm.pendingShapes, req.Resource)
+			a.rm.totalPending--
 			return true
 		}
 	}
@@ -216,7 +301,12 @@ func (rm *ResourceManager) Release(c *Container) {
 	}
 	c.released = true
 	c.Node.Mem.Release(c.Resource.MemMB)
-	rm.vcUsed[c.Node] -= c.Resource.VCores
+	id := c.Node.ID
+	rm.nodeUsedMem[id] -= c.Resource.MemMB
+	if rm.nodeUsedMem[id] < 0 {
+		rm.nodeUsedMem[id] = 0 // mirrors MemPool.Release's clamp
+	}
+	rm.nodeUsedVC[id] -= c.Resource.VCores
 	live := rm.liveByApp[c.App]
 	for i, lc := range live {
 		if lc == c {
@@ -232,7 +322,8 @@ func (rm *ResourceManager) Release(c *Container) {
 
 // ShapeCounts returns how many containers of each distinct resource
 // shape have been allocated, mirroring the paper's hash-map bookkeeping
-// for different-sized containers.
+// for different-sized containers. Each call copies the map; use
+// EachShape to iterate without allocating.
 func (rm *ResourceManager) ShapeCounts() map[Resource]int {
 	out := make(map[Resource]int, len(rm.shapeCounts))
 	for k, v := range rm.shapeCounts {
@@ -240,6 +331,18 @@ func (rm *ResourceManager) ShapeCounts() map[Resource]int {
 	}
 	return out
 }
+
+// EachShape calls fn for every allocated container shape and its count,
+// in first-allocation order, without allocating.
+func (rm *ResourceManager) EachShape(fn func(r Resource, count int)) {
+	for _, r := range rm.shapeOrder {
+		fn(r, rm.shapeCounts[r])
+	}
+}
+
+// RetryWakeupsScheduled returns how many relax-retry wakeup events have
+// been scheduled (after coalescing), for tests.
+func (rm *ResourceManager) RetryWakeupsScheduled() int { return rm.retryScheduled }
 
 // kick schedules an assignment pass; multiple kicks in one instant
 // coalesce.
@@ -256,9 +359,25 @@ func (rm *ResourceManager) kick() {
 
 // fits reports whether a request shape fits node's free capacity.
 // YARN accounts vcores logically; the cluster model enforces the CPU
-// cap physically via flow rate caps.
+// cap physically via flow rate caps. The memory comparison replicates
+// MemPool.CanAllocate (mb <= Capacity-used+1e-9) against the RM's
+// mirror arrays.
 func (rm *ResourceManager) fits(node *cluster.Node, r Resource) bool {
-	return node.Mem.CanAllocate(r.MemMB) && rm.vcUsed[node]+r.VCores <= node.VCores
+	id := node.ID
+	return r.MemMB <= rm.nodeCapMem[id]-rm.nodeUsedMem[id]+1e-9 &&
+		rm.nodeUsedVC[id]+r.VCores <= rm.nodeVCores[id]
+}
+
+// anyPendingFits reports whether any pending request shape, across all
+// apps, fits node — the cheap pre-filter that lets assign skip nodes no
+// scheduler could place on.
+func (rm *ResourceManager) anyPendingFits(node *cluster.Node) bool {
+	for i := range rm.pendingShapes {
+		if rm.fits(node, rm.pendingShapes[i].r) {
+			return true
+		}
+	}
+	return false
 }
 
 // assign walks nodes round-robin, letting the scheduler pick an app
@@ -266,6 +385,12 @@ func (rm *ResourceManager) fits(node *cluster.Node, r Resource) bool {
 func (rm *ResourceManager) assign() {
 	n := len(rm.c.Nodes)
 	if n == 0 {
+		return
+	}
+	if rm.totalPending == 0 {
+		// An empty pass places nothing but still rotates the round-robin
+		// cursor once (the progress loop runs exactly once).
+		rm.assignCur = (rm.assignCur + 1) % n
 		return
 	}
 	placedAny := false
@@ -277,6 +402,9 @@ func (rm *ResourceManager) assign() {
 				node := rm.c.Nodes[(rm.assignCur+i)%n]
 				if useFilter && rm.NodeFilter != nil && !rm.NodeFilter(node) {
 					continue
+				}
+				if !rm.anyPendingFits(node) {
+					continue // no scheduler could place here
 				}
 				idx := rm.sched.Pick(rm.apps, node)
 				if idx < 0 {
@@ -316,28 +444,40 @@ func (rm *ResourceManager) hasPending() bool {
 // scheduleRelaxRetry arranges another assignment pass when a pending
 // locality-restricted request's delay-scheduling timer next expires;
 // without it a request could wait for a release forever even though
-// relaxation would let it place off-node.
+// relaxation would let it place off-node. A wakeup already queued for
+// exactly the chosen instant makes a second one redundant — the
+// duplicate's kick would find assigning already set — so it is
+// coalesced away.
 func (rm *ResourceManager) scheduleRelaxRetry() {
 	now := rm.eng.Now()
 	earliest := -1.0
 	for _, app := range rm.apps {
 		for _, req := range app.pending {
-			expiries := []float64{}
 			if len(req.PreferredNodes) > 0 {
-				expiries = append(expiries, req.enqueued+rm.RackDelay, req.enqueued+rm.OffRackDelay)
+				if e := req.enqueued + rm.RackDelay; e > now && (earliest < 0 || e < earliest) {
+					earliest = e
+				}
+				if e := req.enqueued + rm.OffRackDelay; e > now && (earliest < 0 || e < earliest) {
+					earliest = e
+				}
 			}
 			if rm.NodeFilter != nil {
-				expiries = append(expiries, req.enqueued+rm.HotSpotFallbackDelay)
-			}
-			for _, expiry := range expiries {
-				if expiry > now && (earliest < 0 || expiry < earliest) {
-					earliest = expiry
+				if e := req.enqueued + rm.HotSpotFallbackDelay; e > now && (earliest < 0 || e < earliest) {
+					earliest = e
 				}
 			}
 		}
 	}
-	if earliest > now {
-		rm.eng.At(earliest, func() { rm.kick() })
+	if earliest > now && rm.retryAt != earliest {
+		at := earliest
+		rm.retryAt = at
+		rm.retryScheduled++
+		rm.eng.At(at, func() {
+			if rm.retryAt == at {
+				rm.retryAt = -1
+			}
+			rm.kick()
+		})
 	}
 }
 
@@ -391,7 +531,8 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	if err := node.Mem.Allocate(req.Resource.MemMB); err != nil {
 		panic(fmt.Sprintf("yarn: placement race: %v", err))
 	}
-	rm.vcUsed[node] += req.Resource.VCores
+	rm.nodeUsedMem[node.ID] += req.Resource.MemMB // mirrors MemPool.Allocate
+	rm.nodeUsedVC[node.ID] += req.Resource.VCores
 	if !app.CancelRequest(req) {
 		panic("yarn: placed request not pending")
 	}
@@ -401,6 +542,9 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	app.usedMemMB += req.Resource.MemMB
 	app.usedVC += req.Resource.VCores
 	app.running++
+	if rm.shapeCounts[req.Resource] == 0 {
+		rm.shapeOrder = append(rm.shapeOrder, req.Resource)
+	}
 	rm.shapeCounts[req.Resource]++
 	delay := rm.SchedulingDelay
 	rm.eng.After(delay, func() {

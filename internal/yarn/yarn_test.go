@@ -140,7 +140,8 @@ func TestVariableSizedContainers(t *testing.T) {
 		}})
 	}
 	eng.Run()
-	counts := rm.ShapeCounts()
+	counts := map[Resource]int{}
+	rm.EachShape(func(r Resource, n int) { counts[r] = n })
 	for _, s := range shapes {
 		if counts[s] != 1 {
 			t.Errorf("shape %v count = %d, want 1", s, counts[s])
