@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mrconf"
 	"repro/internal/workload"
 )
@@ -31,6 +32,7 @@ func main() {
 		htmlPath   = flag.String("html", "", "write a self-contained HTML report (runs everything)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		faultSpec  = flag.String("faults", "", "inject faults from this JSON spec into every run (see examples/faults/)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,14 @@ func main() {
 	}
 
 	env := experiments.Env{Seed: *seed}
+	if *faultSpec != "" {
+		fspec, err := faults.Load(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		env.FaultSpec = fspec
+	}
 	if *htmlPath != "" {
 		f, err := os.Create(*htmlPath)
 		if err != nil {
@@ -85,7 +95,7 @@ func main() {
 	if *run == "all" {
 		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "testruns",
-			"hotspot", "straggler", "amortization", "stream"}
+			"hotspot", "straggler", "amortization", "stream", "faults"}
 	}
 
 	// Expedited results back Figs 4-9; compute each set once.
@@ -155,6 +165,8 @@ func main() {
 			amortization(env)
 		case "stream":
 			stream(env)
+		case "faults":
+			faultRecovery(env)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", id)
 			os.Exit(2)
@@ -293,6 +305,18 @@ func stream(env experiments.Env) {
 		r.MeanDefault, r.MeanMronline, 100*r.Improvement())
 	fmt.Printf("makespan:        default %.0fs -> MRONLINE %.0fs\n",
 		r.MakespanDefault, r.MakespanMron)
+}
+
+func faultRecovery(env experiments.Env) {
+	header("Extension: failure recovery under tuning (Terasort 20GB, mid-job node crash)")
+	rows := env.FaultRecovery()
+	fmt.Printf("%-18s %9s %7s %8s %8s %8s %8s\n",
+		"leg", "job time", "failed", "killed", "reexec", "lost", "rerepl")
+	for _, r := range rows {
+		fmt.Printf("%-18s %8.0fs %7v %8d %8d %8d %8d\n",
+			r.Leg, r.Duration, r.Failed, r.NodeLossKills, r.MapsReExecuted,
+			r.Faults.ContainersLost, r.Faults.BlocksReReplicated)
+	}
 }
 
 func testRuns(env experiments.Env) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mapreduce"
 	"repro/internal/mrconf"
 	"repro/internal/trace"
@@ -48,6 +49,7 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print a per-node occupancy chart after the run")
 		specPath  = flag.String("spec", "", "load a custom benchmark from a JSON spec instead of -bench")
 		speculate = flag.Bool("speculation", false, "enable speculative execution (straggler mitigation)")
+		faultSpec = flag.String("faults", "", "inject faults from this JSON spec (see examples/faults/)")
 		compare   = flag.Bool("compare", false, "run default, offline, conservative and aggressive and print a comparison")
 		explain   = flag.Bool("explain", false, "print what the tuner learned (conservative/aggressive strategies)")
 		counters  = flag.Bool("counters", false, "print the full job counter summary")
@@ -75,6 +77,14 @@ func main() {
 		os.Exit(2)
 	}
 	env := experiments.Env{Seed: *seed}
+	if *faultSpec != "" {
+		fspec, err := faults.Load(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		env.FaultSpec = fspec
+	}
 
 	if *compare {
 		compareStrategies(env, b, *kbPath)

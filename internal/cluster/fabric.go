@@ -85,6 +85,11 @@ type Flow struct {
 	posX       []int            // spill positions for flows crossing more links
 	visit      uint64           // recompute epoch this flow was last swept into
 	finished   bool
+	// onAbort, when set, is scheduled (asynchronously) if the flow is
+	// torn down by Fabric.Abort — a fault, not a cancellation by the
+	// flow's owner — so remote consumers can fail over instead of
+	// waiting forever on a done callback that will never fire.
+	onAbort func()
 }
 
 func (f *Flow) linkPos(i int) int {
@@ -115,6 +120,11 @@ func (f *Flow) Done() bool { return f.finished }
 // Cancel aborts the flow; its done callback will not fire. Canceling
 // a completed flow is a no-op.
 func (f *Flow) Cancel() { f.fabric.Cancel(f) }
+
+// SetOnAbort registers fn to run (asynchronously) if the flow is killed
+// by Fabric.Abort — e.g. when the node it crosses crashes. fn does not
+// run on normal completion or on Cancel.
+func (f *Flow) SetOnAbort(fn func()) { f.onAbort = fn }
 
 // Fabric manages a set of links whose flows may interact (share links).
 // Separate resource domains (each node's disk, each node's CPU pool,
@@ -220,6 +230,35 @@ func (fb *Fabric) Cancel(f *Flow) {
 		fb.remove(f)
 		fb.recompute(f.links, nil)
 	}
+}
+
+// Abort tears a flow down like Cancel, then schedules the flow's
+// registered onAbort callback (if any). Used by fault injection: the
+// owner did not ask for the teardown, so it must be told.
+func (fb *Fabric) Abort(f *Flow) {
+	if f == nil || f.finished {
+		return
+	}
+	fn := f.onAbort
+	fb.Cancel(f)
+	if fn != nil {
+		fb.eng.After(0, fn)
+	}
+}
+
+// SetCapacity changes a link's capacity in place and rebalances the
+// link's connected component. Fault injection uses it to model slow
+// nodes, degraded disks and flapping NICs; in-flight flows simply
+// continue at the recomputed fair-share rates.
+func (fb *Fabric) SetCapacity(l *Link, capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cluster: link %q capacity must stay positive, got %v", l.Name, capacity))
+	}
+	if capacity == l.Capacity {
+		return
+	}
+	l.Capacity = capacity
+	fb.recompute([]*Link{l}, nil)
 }
 
 // remove detaches f from the fabric's flow list and from every link's

@@ -31,6 +31,11 @@ type Node struct {
 	NICOut *Link // transmit direction
 
 	cluster *Cluster
+
+	// down marks a crashed node (see Cluster.KillNode). While down, the
+	// node accepts no new work; its fabrics still exist so that restore
+	// is cheap, but every flow was aborted at crash time.
+	down bool
 }
 
 // CoreRatio returns physical cores per vcore: a container holding v
@@ -105,4 +110,32 @@ func (n *Node) InjectDiskLoad(rate, duration float64, done func()) *Flow {
 // cores for `duration` seconds.
 func (n *Node) InjectCPULoad(cores, duration float64, done func()) *Flow {
 	return n.cpu.Start([]*Link{n.cpuLink}, cores*duration, cores, done)
+}
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
+
+// CPUCapacity returns the CPU link's current capacity in cores (equal
+// to Cores unless fault injection degraded it).
+func (n *Node) CPUCapacity() float64 { return n.cpuLink.Capacity }
+
+// SetCPUCapacity rescales the node's CPU pool (fault injection: a slow
+// or throttled node). Running flows continue at recomputed fair shares.
+func (n *Node) SetCPUCapacity(cores float64) { n.cpu.SetCapacity(n.cpuLink, cores) }
+
+// DiskBandwidth returns the disk link's current capacity in MB/s.
+func (n *Node) DiskBandwidth() float64 { return n.diskLink.Capacity }
+
+// SetDiskBandwidth rescales the node's disk channel (fault injection:
+// a degraded disk).
+func (n *Node) SetDiskBandwidth(mbps float64) { n.disk.SetCapacity(n.diskLink, mbps) }
+
+// NICBandwidth returns the per-direction NIC capacity in MB/s.
+func (n *Node) NICBandwidth() float64 { return n.NICIn.Capacity }
+
+// SetNICBandwidth rescales both NIC directions (fault injection: a
+// flapping or degraded link).
+func (n *Node) SetNICBandwidth(mbps float64) {
+	n.cluster.net.SetCapacity(n.NICIn, mbps)
+	n.cluster.net.SetCapacity(n.NICOut, mbps)
 }

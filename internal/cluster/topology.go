@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -78,12 +79,21 @@ type Cluster struct {
 	Nodes []*Node
 	Racks [][]*Node
 
+	// Faults is the cluster-wide fault/recovery counter sheet. Every
+	// layer (HDFS, YARN, MapReduce) records recovery activity here
+	// through its cluster pointer. All zeros when nothing was injected.
+	Faults *metrics.FaultCounters
+
 	net     *Fabric
 	uplinks []*Link
 	cfg     Config
 	// totalMemMB caches the cluster-wide container memory; the node set
 	// is fixed once New returns.
 	totalMemMB float64
+
+	// nodeListeners are notified, in registration order, when a node
+	// goes down or comes back up (see SubscribeNodeState).
+	nodeListeners []func(n *Node, down bool)
 }
 
 // New builds a cluster per cfg.
@@ -91,7 +101,7 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	if len(cfg.RackSizes) == 0 {
 		panic("cluster: config needs at least one rack")
 	}
-	c := &Cluster{Eng: eng, cfg: cfg}
+	c := &Cluster{Eng: eng, cfg: cfg, Faults: &metrics.FaultCounters{}}
 	c.net = NewFabric(eng, "network")
 	racks := len(cfg.RackSizes)
 	c.Racks = make([][]*Node, racks)

@@ -45,7 +45,9 @@ func WeightedCost(r mapreduce.TaskReport, tmax float64, w CostWeights) float64 {
 		trel = r.Duration() / tmax
 	}
 	y := w[0]*(1-r.MemUtil) + w[1]*(1-r.CPUUtil) + w[2]*spillRatio + w[3]*trel
-	if r.OOM {
+	if r.OOM || r.Failed {
+		// Failed attempts get the same penalty: their partial
+		// measurements must never look like a good configuration.
 		y += OOMPenalty
 	}
 	return y

@@ -52,10 +52,14 @@ func (m *Monitor) Observe(r mapreduce.TaskReport) {
 	d := r.Duration()
 	if r.Type == mapreduce.MapTask {
 		m.mapReports = append(m.mapReports, r)
-		if d > m.tmaxMap {
+		// Failed attempts (injected fault, node loss) carry partial,
+		// misleading measurements: keep the report for bookkeeping but
+		// feed none of the estimators, not even tmax — a fault is not
+		// evidence about the configuration.
+		if d > m.tmaxMap && !r.Failed {
 			m.tmaxMap = d
 		}
-		if !r.OOM {
+		if !r.OOM && !r.Failed {
 			m.mapOutMB.Observe(r.DataMB)
 			m.mapRawMB.Observe(r.RawOutputMB)
 			m.mapMemUtil.Observe(r.MemUtil)
@@ -72,10 +76,10 @@ func (m *Monitor) Observe(r mapreduce.TaskReport) {
 		return
 	}
 	m.reduceReports = append(m.reduceReports, r)
-	if d > m.tmaxReduce {
+	if d > m.tmaxReduce && !r.Failed {
 		m.tmaxReduce = d
 	}
-	if !r.OOM {
+	if !r.OOM && !r.Failed {
 		m.redInMB.Observe(r.DataMB)
 		m.redMemUtil.Observe(r.MemUtil)
 		m.redCPUUtil.Observe(r.CPUUtil)

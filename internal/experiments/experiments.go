@@ -14,6 +14,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/mrconf"
@@ -64,6 +65,11 @@ type Env struct {
 	// mirroring the paper's "we repeat each experiment four times and
 	// report the average" (§8.1). Zero means 3.
 	Reps int
+	// FaultSpec, when non-nil and non-empty, is armed against the
+	// cluster of every single-job run (RunSpec and the experiments
+	// built on it), injecting the described faults deterministically
+	// from the run's seed. Nil (the default) changes nothing.
+	FaultSpec *faults.Spec
 }
 
 // DefaultEnv matches the committed EXPERIMENTS.md numbers.
@@ -108,6 +114,7 @@ func (e Env) RunTraced(b workload.Benchmark, cfg mrconf.Config, ctrl mapreduce.C
 // cluster (the most general single-job entry point).
 func (e Env) RunSpec(spec mapreduce.Spec) mapreduce.Result {
 	r := e.NewRig(yarn.FIFOScheduler{})
+	e.ArmFaults(r, &spec)
 	var res mapreduce.Result
 	done := false
 	mapreduce.Submit(r.RM, r.FS, spec, func(rr mapreduce.Result) { res = rr; done = true })
@@ -116,6 +123,20 @@ func (e Env) RunSpec(spec mapreduce.Spec) mapreduce.Result {
 		panic(fmt.Sprintf("experiments: job %s never completed", spec.Benchmark.Name))
 	}
 	return res
+}
+
+// ArmFaults schedules e.FaultSpec (if any) against the rig's cluster
+// and installs the probabilistic hooks on the job spec. Node-state
+// trace events land in spec.Trace alongside the job's own events.
+func (e Env) ArmFaults(r *Rig, spec *mapreduce.Spec) {
+	if e.FaultSpec == nil || e.FaultSpec.Empty() {
+		return
+	}
+	inj, err := faults.New(r.C, sim.NewSource(e.Seed), *e.FaultSpec, spec.Trace)
+	if err != nil {
+		panic(err)
+	}
+	spec.Faults = inj
 }
 
 // AggressiveTestRun runs one expedited test run with the aggressive

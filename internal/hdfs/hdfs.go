@@ -31,11 +31,15 @@ func (l Locality) String() string {
 	}
 }
 
-// Block is one HDFS block with its replica locations.
+// Block is one HDFS block with its replica locations. Replicas only
+// ever lists live nodes: when a node crashes the namenode prunes it
+// from every block and re-replicates from the survivors (see repair.go).
 type Block struct {
 	ID       int
 	SizeMB   float64
 	Replicas []*cluster.Node
+
+	repairing bool // a re-replication transfer is in flight
 }
 
 // File is a sequence of blocks.
@@ -54,11 +58,23 @@ type FileSystem struct {
 	// threshold and writes prefer cold targets (HDFS's slow-datanode
 	// avoidance, used by MRONLINE's hot-spot policy).
 	HotThreshold float64
+	// ReReplicationDelaySecs is how long the namenode waits after
+	// losing replicas before re-replicating under-replicated blocks
+	// (a scaled-down dfs.namenode.replication pending window).
+	ReReplicationDelaySecs float64
+	// OpRetryDelaySecs is the backoff before a fault-tolerant read or
+	// write op (StartRead/StartWrite) retries after a replica died
+	// mid-transfer.
+	OpRetryDelaySecs float64
 
 	c       *cluster.Cluster
 	rng     *rand.Rand
 	nextID  int
 	writeAt int // round-robin cursor for first-replica placement
+	// blocks is the namenode's registry of every placed block, used
+	// only by the failure path (replica pruning and re-replication).
+	blocks          []*Block
+	repairScheduled bool
 	// scratch buffers for randomNode; the pick is consumed before the
 	// next call, so the backing arrays are safe to reuse.
 	scratchCand []*cluster.Node
@@ -72,7 +88,16 @@ func New(c *cluster.Cluster, rng *rand.Rand) *FileSystem {
 	if len(c.Nodes) < repl {
 		repl = len(c.Nodes)
 	}
-	return &FileSystem{BlockSizeMB: 128, Replication: repl, c: c, rng: rng}
+	fs := &FileSystem{
+		BlockSizeMB:            128,
+		Replication:            repl,
+		ReReplicationDelaySecs: 15,
+		OpRetryDelaySecs:       2,
+		c:                      c,
+		rng:                    rng,
+	}
+	c.SubscribeNodeState(fs.onNodeState)
+	return fs
 }
 
 // Create places a file of sizeMB across the cluster using the HDFS
@@ -101,8 +126,13 @@ func (fs *FileSystem) CreateWithBlockSize(name string, sizeMB, blockMB float64) 
 		}
 		writer := fs.c.Nodes[fs.writeAt%len(fs.c.Nodes)]
 		fs.writeAt++
+		for i := 0; writer.Down() && i < len(fs.c.Nodes); i++ {
+			writer = fs.c.Nodes[fs.writeAt%len(fs.c.Nodes)]
+			fs.writeAt++
+		}
 		b := &Block{ID: fs.nextID, SizeMB: size, Replicas: fs.placeReplicas(writer)}
 		fs.nextID++
+		fs.blocks = append(fs.blocks, b)
 		f.Blocks = append(f.Blocks, b)
 		remaining -= size
 	}
@@ -136,6 +166,9 @@ func (fs *FileSystem) placeReplicas(first *cluster.Node) []*cluster.Node {
 func (fs *FileSystem) randomNode(ok func(*cluster.Node) bool) *cluster.Node {
 	candidates, cold := fs.scratchCand[:0], fs.scratchCold[:0]
 	for _, n := range fs.c.Nodes {
+		if n.Down() {
+			continue
+		}
 		if ok(n) {
 			candidates = append(candidates, n)
 			if !fs.hot(n) {

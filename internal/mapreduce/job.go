@@ -23,11 +23,11 @@ type Job struct {
 	// reads window sizes from it on every scheduling pass.
 	baseSnap mrconf.Snapshot
 	bench    workload.Benchmark
-	eng   *sim.Engine
-	rm    *yarn.ResourceManager
-	fs    *hdfs.FileSystem
-	app   *yarn.App
-	ctrl  Controller
+	eng      *sim.Engine
+	rm       *yarn.ResourceManager
+	fs       *hdfs.FileSystem
+	app      *yarn.App
+	ctrl     Controller
 
 	inputFile   *hdfs.File
 	mapTasks    []*Task
@@ -83,6 +83,9 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 	}
 	j.baseSnap = s.BaseConfig.Snapshot()
 	j.app = rm.Submit(s.Name, s.Weight)
+	// Node-loss notifications drive map-output re-execution (the AM's
+	// response to reducer fetch failures against a dead host).
+	j.app.OnNodeLost = j.nodeLost
 
 	src := sim.NewSource(uint64(len(s.Name))*1e9 + uint64(s.Benchmark.NumMaps)).Sub("job:" + s.Name)
 	if s.Benchmark.InputSizeMB > 0 {
@@ -250,7 +253,8 @@ func (j *Job) requestContainerWithConfig(t *Task, cfg mrconf.Config) {
 				j.runReduce(t, c)
 			}
 		},
-		OnPreempt: func(c *yarn.Container) { j.taskPreempted(t) },
+		OnPreempt:  func(c *yarn.Container) { j.taskPreempted(t) },
+		OnNodeLost: func(c *yarn.Container) { j.taskLostNode(t) },
 	}
 	t.pendingReq = req
 	j.app.Request(req)
@@ -259,6 +263,26 @@ func (j *Job) requestContainerWithConfig(t *Task, cfg mrconf.Config) {
 // track registers an attempt's in-flight flows for kill support.
 func (t *Task) track(flows ...*cluster.Flow) {
 	t.liveFlows = append(t.liveFlows, flows...)
+}
+
+// trackOp registers an attempt's in-flight HDFS operation for kill
+// support.
+func (t *Task) trackOp(op canceler) {
+	t.liveOps = append(t.liveOps, op)
+}
+
+// cancelWork aborts everything an attempt has in flight.
+func (j *Job) cancelWork(t *Task) {
+	for _, f := range t.liveFlows {
+		if f != nil {
+			f.Cancel()
+		}
+	}
+	t.liveFlows = nil
+	for _, op := range t.liveOps {
+		op.Cancel()
+	}
+	t.liveOps = nil
 }
 
 // finishAttempt handles bookkeeping common to success and failure.
@@ -388,12 +412,7 @@ func (j *Job) taskFailed(t *Task, reason error) {
 	if t.Type == ReduceTask {
 		j.reduceMemHeld -= t.snap.ReduceMemMB()
 		// Drop any reducer runtime state; the retry re-registers.
-		for i, rr := range j.activeReducers {
-			if rr.task == t {
-				j.activeReducers = append(j.activeReducers[:i], j.activeReducers[i+1:]...)
-				break
-			}
-		}
+		j.dropActiveReducer(t)
 	}
 	t.Attempt++
 	if t.Attempt >= j.spec.MaxAttempts {
@@ -424,7 +443,7 @@ func (j *Job) finish(err error) {
 	}
 	var mc, mm, rc, rmu metricAvg
 	for _, r := range j.reports {
-		if r.OOM {
+		if r.OOM || r.Failed {
 			continue
 		}
 		if r.Type == MapTask {

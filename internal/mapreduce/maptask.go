@@ -36,6 +36,7 @@ func (j *Job) runMap(t *Task, c *yarn.Container) {
 		}
 	}
 
+	j.armAttemptFault(t)
 	att := t.Attempt
 	j.eng.After(TaskLaunchOverheadSecs, func() {
 		if t.Attempt != att {
@@ -47,6 +48,11 @@ func (j *Job) runMap(t *Task, c *yarn.Container) {
 
 func (j *Job) mapMain(t *Task) {
 	if j.finished || t.killed {
+		return
+	}
+	if t.container.Node.Down() {
+		// The host crashed during launch; the attempt goes quiet and the
+		// RM's node-loss path requeues it after the liveness expiry.
 		return
 	}
 	t.setConfig(j.ctrl.LiveConfig(t, t.Config)) // category-3 params may have moved
@@ -78,7 +84,13 @@ func (j *Job) mapMain(t *Task) {
 		frac := t.snap.MapHeapMB() / heapNeedMB
 		failAfter := math.Max(2, cpuSecs/coreCap*frac)
 		t.cpuSecs = cpuSecs * frac
-		j.eng.After(failAfter, func() { j.taskFailed(t, errOOM) })
+		att := t.Attempt
+		j.eng.After(failAfter, func() {
+			if t.Attempt != att {
+				return // the attempt was already requeued (preempt/node loss)
+			}
+			j.taskFailed(t, errOOM)
+		})
 		return
 	}
 
@@ -105,7 +117,15 @@ func (j *Job) mapMain(t *Task) {
 	next := join(flows, func() { j.mapMerge(t, combinedMB, overlapMB, numSpills) })
 	t.track(node.Compute(cpuSecs, coreCap, next))
 	if t.Split != nil {
-		t.track(j.fs.Read(t.Split, node, next)...)
+		op := j.fs.StartRead(t.Split, node, next)
+		att := t.Attempt
+		op.OnFail = func() {
+			if t.Attempt != att {
+				return
+			}
+			j.taskFailedFault(t, "input split lost")
+		}
+		t.trackOp(op)
 	}
 	if overlapMB > 0 {
 		t.track(node.DiskWrite(overlapMB, next))
@@ -168,6 +188,15 @@ func (j *Job) mapFinish(t *Task, combinedMB float64, numSpills, passes int) {
 		t.rawOutMB = combinedMB / p.CombinerReduction
 	}
 	t.numSpills = numSpills
+
+	// The winner's stats and output location live on the logical task so
+	// a later node loss can reverse exactly what this completion added.
+	lt := t.logical()
+	if lt != t {
+		lt.inputMB, lt.spilledRec, lt.outputRec = t.inputMB, t.spilledRec, t.outputRec
+		lt.dataMB, lt.rawOutMB, lt.numSpills = t.dataMB, t.rawOutMB, t.numSpills
+	}
+	lt.outputNode = t.container.Node
 
 	j.totalMapOutMB += combinedMB
 	j.taskSucceeded(t)

@@ -43,6 +43,7 @@ func (j *Job) runReduce(t *Task, c *yarn.Container) {
 	t.container = c
 	t.cpuSecs = 0
 	j.traceTask(t, trace.TaskStart)
+	j.armAttemptFault(t)
 	att := t.Attempt
 	j.eng.After(TaskLaunchOverheadSecs, func() {
 		if t.Attempt != att {
@@ -54,6 +55,10 @@ func (j *Job) runReduce(t *Task, c *yarn.Container) {
 
 func (j *Job) reduceMain(t *Task) {
 	if j.finished || t.killed {
+		return
+	}
+	if t.container.Node.Down() {
+		// The host crashed during launch; the node-loss path requeues.
 		return
 	}
 	t.setConfig(j.ctrl.LiveConfig(t, t.Config))
@@ -78,7 +83,13 @@ func (j *Job) reduceMain(t *Task) {
 	if heapNeedMB > heap {
 		frac := heap / heapNeedMB
 		failAfter := math.Max(2, 10*frac)
-		j.eng.After(failAfter, func() { j.taskFailed(t, errOOM) })
+		att := t.Attempt
+		j.eng.After(failAfter, func() {
+			if t.Attempt != att {
+				return // the attempt was already requeued (preempt/node loss)
+			}
+			j.taskFailed(t, errOOM)
+		})
 		return
 	}
 
@@ -134,6 +145,9 @@ func (j *Job) tryFetch(r *reduceRun) {
 		return
 	}
 	t := r.task
+	if t.container == nil || t.container.Node.Down() {
+		return // node crashed; the node-loss path requeues the attempt
+	}
 	allMapsDone := j.completedMaps == len(j.mapTasks)
 	avail := j.availableMB(r)
 	if avail <= 1e-9 {
@@ -145,6 +159,24 @@ func (j *Job) tryFetch(r *reduceRun) {
 	}
 	if !allMapsDone && avail < MinFetchChunkMB {
 		return // batch small fetches; a later wake will retry
+	}
+	if h := j.spec.Faults; h != nil && h.FetchFails() {
+		// The fetch attempt failed (dropped connection, bad checksum);
+		// back off and retry, like the fetcher's exponential backoff.
+		j.rm.Cluster().Faults.FetchFailures++
+		j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.FetchFail,
+			TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt,
+			Node: t.container.Node.Name, Detail: "injected"})
+		r.busy = true
+		att := t.Attempt
+		j.eng.After(FetchRetryDelaySecs, func() {
+			if j.finished || t.killed || t.Attempt != att {
+				return
+			}
+			r.busy = false
+			j.tryFetch(r)
+		})
+		return
 	}
 	chunk := avail
 	r.busy = true
@@ -211,10 +243,10 @@ func (j *Job) reduceOutput(r *reduceRun, totalIn float64) {
 	}
 	t := r.task
 	outMB := totalIn * j.bench.Profile.ReduceSelectivity
-	_, flows := j.fs.Write(t.container.Node, outMB, func() {
+	op := j.fs.StartWrite(t.container.Node, outMB, func() {
 		j.reduceFinish(r, outMB)
 	})
-	t.track(flows...)
+	t.trackOp(op)
 }
 
 // reduceFinish applies the winning attempt's counter contributions.

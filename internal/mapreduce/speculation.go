@@ -59,7 +59,7 @@ func (j *Job) scheduleSpeculation() {
 func (j *Job) meanSuccessDuration(tt TaskType) (float64, int) {
 	sum, n := 0.0, 0
 	for _, r := range j.reports {
-		if r.Type == tt && !r.OOM {
+		if r.Type == tt && !r.OOM && !r.Failed {
 			sum += r.Duration()
 			n++
 		}
@@ -136,20 +136,10 @@ func (j *Job) taskPreempted(t *Task) {
 	if j.finished || t.killed || t.State == TaskSucceeded || t.logical().logicalDone {
 		return
 	}
-	for _, f := range t.liveFlows {
-		if f != nil {
-			f.Cancel()
-		}
-	}
-	t.liveFlows = nil
+	j.cancelWork(t)
 	if t.Type == ReduceTask {
 		j.reduceMemHeld -= t.snap.ReduceMemMB()
-		for i, rr := range j.activeReducers {
-			if rr.task == t {
-				j.activeReducers = append(j.activeReducers[:i], j.activeReducers[i+1:]...)
-				break
-			}
-		}
+		j.dropActiveReducer(t)
 	}
 	t.container = nil // the RM releases the container itself
 	j.counters.Preemptions++
@@ -179,24 +169,14 @@ func (j *Job) killAttempt(t *Task) {
 	}
 	t.killed = true
 	t.State = TaskFailed
-	for _, f := range t.liveFlows {
-		if f != nil {
-			f.Cancel()
-		}
-	}
-	t.liveFlows = nil
+	j.cancelWork(t)
 	if t.pendingReq != nil {
 		j.app.CancelRequest(t.pendingReq)
 		t.pendingReq = nil
 	}
 	if t.Type == ReduceTask {
 		j.reduceMemHeld -= t.snap.ReduceMemMB()
-		for i, rr := range j.activeReducers {
-			if rr.task == t {
-				j.activeReducers = append(j.activeReducers[:i], j.activeReducers[i+1:]...)
-				break
-			}
-		}
+		j.dropActiveReducer(t)
 	}
 	j.releaseTask(t)
 	if t.specOrigin != nil {

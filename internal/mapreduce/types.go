@@ -83,7 +83,11 @@ type Task struct {
 	// liveFlows are the attempt's in-flight resource flows, canceled
 	// when a speculative twin wins.
 	liveFlows []*cluster.Flow
-	killed    bool
+	// liveOps are the attempt's in-flight fault-tolerant HDFS
+	// operations (reads/writes that internally retry), canceled
+	// alongside liveFlows.
+	liveOps []canceler
+	killed  bool
 	// Speculative-execution links: specCopy on the original points to
 	// its running shadow; specOrigin on a shadow points back. The
 	// original is the logical task; logicalDone marks the first copy
@@ -101,7 +105,16 @@ type Task struct {
 	rawOutMB   float64
 	numSpills  int
 	oomCount   int
+
+	// outputNode records where a completed map's output lives (set on
+	// the logical task by mapFinish). If that node is later lost while
+	// reducers still need the data, the map re-executes.
+	outputNode *cluster.Node
 }
+
+// canceler is an in-flight operation an attempt can abort (HDFS
+// read/write ops).
+type canceler interface{ Cancel() }
 
 // Counters aggregates Hadoop-style job counters.
 type Counters struct {
@@ -122,6 +135,11 @@ type Counters struct {
 	NodeLocalMaps       int
 	RackLocalMaps       int
 	OffRackMaps         int
+
+	// Fault-recovery counters (all zero when nothing was injected).
+	TaskFailures   int // non-OOM attempt failures (counted vs MaxAttempts)
+	NodeLossKills  int // attempts requeued because their node crashed
+	MapsReExecuted int // completed maps re-run after output loss
 }
 
 // SpilledRecords is the Hadoop "Spilled Records" counter: map side
@@ -160,6 +178,9 @@ type TaskReport struct {
 	// Spills is the map-side spill-file count (0 for reduces).
 	Spills int
 	OOM    bool
+	// Failed marks a non-OOM attempt failure (injected fault, lost
+	// input). The monitor discards such samples like OOM ones.
+	Failed bool
 }
 
 // Duration returns the attempt's wall-clock run time.
@@ -235,6 +256,24 @@ type Spec struct {
 	// Speculation enables straggler mitigation when non-nil (see
 	// DefaultSpeculation). Nil matches the paper's experimental setup.
 	Speculation *SpeculationConfig
+	// Faults, when non-nil, lets a fault injector perturb the job's
+	// runtime (see internal/faults). Nil costs nothing: no hooks are
+	// consulted and no extra events or RNG draws occur.
+	Faults FaultHooks
+}
+
+// FaultHooks is the job-runtime side of fault injection. The injector
+// (internal/faults) implements it; the hooks draw from the injector's
+// dedicated RNG stream so enabling them never perturbs the job's own
+// randomness.
+type FaultHooks interface {
+	// FetchFails reports whether the next shuffle fetch attempt should
+	// fail (and be retried after a backoff).
+	FetchFails() bool
+	// AttemptFailDelay returns, for a task attempt that just started, a
+	// delay after which the attempt is killed (simulating disk errors,
+	// JVM crashes); ok=false lets the attempt run normally.
+	AttemptFailDelay(taskType string, taskID, attempt int) (delay float64, ok bool)
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -290,6 +329,9 @@ const (
 	// CrossRackFraction of shuffle traffic traverses the rack uplink
 	// (partitions are spread uniformly over both racks).
 	CrossRackFraction = 0.5
+	// FetchRetryDelaySecs is the backoff before a reducer retries a
+	// failed shuffle fetch.
+	FetchRetryDelaySecs = 1.0
 	// BurstFloorCores is the minimum CPU a container can use
 	// regardless of its vcore allowance: vcore enforcement uses
 	// cgroup cpu.shares-style soft limits that still let a starved
@@ -321,6 +363,15 @@ func (c Counters) Summary() string {
 	}
 	if c.Preemptions > 0 {
 		fmt.Fprintf(&b, "Preempted containers=%d\n", c.Preemptions)
+	}
+	if c.TaskFailures > 0 {
+		fmt.Fprintf(&b, "Failed task attempts=%d\n", c.TaskFailures)
+	}
+	if c.NodeLossKills > 0 {
+		fmt.Fprintf(&b, "Attempts lost to node failures=%d\n", c.NodeLossKills)
+	}
+	if c.MapsReExecuted > 0 {
+		fmt.Fprintf(&b, "Re-executed maps=%d\n", c.MapsReExecuted)
 	}
 	return b.String()
 }

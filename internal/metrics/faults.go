@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultCounters aggregates fault-injection and recovery activity across
+// every layer of the stack. One instance lives on the cluster (see
+// cluster.Cluster.Faults); the HDFS, YARN and MapReduce layers all
+// write to it through their cluster pointer, so a single sheet shows
+// what was injected and what the recovery machinery did about it.
+type FaultCounters struct {
+	// Cluster layer.
+	NodesDowned   int
+	NodesRestored int
+
+	// YARN layer.
+	ContainersLost     int // live containers reclaimed from lost nodes
+	NodesBlacklisted   int
+	NodesUnblacklisted int
+
+	// MapReduce layer.
+	AttemptsKilledNodeLoss int // running attempts requeued after a crash
+	TaskFailuresInjected   int // attempts killed by the fault injector
+	FetchFailures          int // shuffle fetches that failed and retried
+	MapsReExecuted         int // completed maps re-run after output loss
+
+	// HDFS layer.
+	ReplicasLost       int
+	BlocksReReplicated int
+	ReadFailovers      int // block reads restarted from another replica
+	WriteRestarts      int // replica pipelines rebuilt after a crash
+}
+
+// Any reports whether any fault or recovery activity was recorded.
+func (f *FaultCounters) Any() bool {
+	return *f != FaultCounters{}
+}
+
+// Summary renders the non-zero counters, one per line.
+func (f *FaultCounters) Summary() string {
+	var b strings.Builder
+	line := func(name string, v int) {
+		if v != 0 {
+			fmt.Fprintf(&b, "%s=%d\n", name, v)
+		}
+	}
+	line("Nodes downed", f.NodesDowned)
+	line("Nodes restored", f.NodesRestored)
+	line("Containers lost", f.ContainersLost)
+	line("Nodes blacklisted", f.NodesBlacklisted)
+	line("Nodes unblacklisted", f.NodesUnblacklisted)
+	line("Attempts killed by node loss", f.AttemptsKilledNodeLoss)
+	line("Injected task failures", f.TaskFailuresInjected)
+	line("Fetch failures", f.FetchFailures)
+	line("Maps re-executed", f.MapsReExecuted)
+	line("Replicas lost", f.ReplicasLost)
+	line("Blocks re-replicated", f.BlocksReReplicated)
+	line("Read failovers", f.ReadFailovers)
+	line("Write restarts", f.WriteRestarts)
+	return b.String()
+}

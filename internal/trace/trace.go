@@ -25,6 +25,13 @@ const (
 	TaskOOM    Kind = "task_oom"
 	TaskKilled Kind = "task_killed"
 	JobFinish  Kind = "job_finish"
+
+	// Fault-injection and recovery events (see internal/faults).
+	NodeDown   Kind = "node_down"   // a node crashed (Job is "cluster")
+	NodeUp     Kind = "node_up"     // a crashed node was restored
+	TaskFailed Kind = "task_failed" // an attempt failed (non-OOM)
+	FetchFail  Kind = "fetch_fail"  // a shuffle fetch failed
+	ReexecMap  Kind = "reexec_map"  // a completed map re-runs: output lost
 )
 
 // Event is one timeline entry.
@@ -124,7 +131,7 @@ func (r *Recorder) spans() []span {
 		switch e.Kind {
 		case TaskStart:
 			open[k] = e
-		case TaskFinish, TaskOOM, TaskKilled:
+		case TaskFinish, TaskOOM, TaskKilled, TaskFailed:
 			if s, ok := open[k]; ok {
 				out = append(out, span{node: s.Node, start: s.Time, end: e.Time, taskType: s.TaskType})
 				delete(open, k)
@@ -219,6 +226,10 @@ type JobStats struct {
 	RedFinishes  int
 	OOMs         int
 	Kills        int
+	Failures     int // injected attempt failures (task_failed)
+	NodeDowns    int
+	NodeUps      int
+	MapReexecs   int
 	LastMapEnd   float64
 	FirstRedStat float64 // first reduce task start (slowstart point)
 }
@@ -275,6 +286,14 @@ func (r *Recorder) Stats() []JobStats {
 			s.OOMs++
 		case TaskKilled:
 			s.Kills++
+		case TaskFailed:
+			s.Failures++
+		case NodeDown:
+			s.NodeDowns++
+		case NodeUp:
+			s.NodeUps++
+		case ReexecMap:
+			s.MapReexecs++
 		}
 	}
 	out := make([]JobStats, 0, len(order))

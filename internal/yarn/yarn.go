@@ -33,7 +33,9 @@ type Container struct {
 	App      *App
 	// OnPreempt is copied from the granting request.
 	OnPreempt func(*Container)
-	released  bool
+	// OnNodeLost is copied from the granting request; see Request.
+	OnNodeLost func(*Container)
+	released   bool
 }
 
 // CoreCap returns the physical-core allowance of the container
@@ -55,6 +57,10 @@ type Request struct {
 	// OnPreempt, if set, is invoked when the resource manager preempts
 	// the granted container: stop its work; the RM releases it.
 	OnPreempt func(*Container)
+	// OnNodeLost, if set, is invoked when the container's node is
+	// declared lost: the work is gone; the RM releases the container.
+	// When unset, OnPreempt is used as the fallback notification.
+	OnNodeLost func(*Container)
 
 	app      *App
 	seq      int
@@ -104,6 +110,11 @@ type App struct {
 	ID     int
 	Name   string
 	Weight float64 // fair-share weight
+
+	// OnNodeLost, if set, is invoked after a lost node's containers
+	// have been reclaimed, so the application master can handle
+	// node-scoped state it kept there (completed map outputs).
+	OnNodeLost func(*cluster.Node)
 
 	rm      *ResourceManager
 	pending []*Request
@@ -185,6 +196,24 @@ type ResourceManager struct {
 	// node anyway, so a fully hot cluster cannot starve.
 	NodeFilter           func(*cluster.Node) bool
 	HotSpotFallbackDelay float64
+
+	// Node liveness and blacklisting (see nodestate.go). All slices are
+	// keyed by the dense Node.ID like the capacity mirrors above.
+	nodeDown     []bool
+	declaredLost []bool   // containers already reclaimed this down-epoch
+	downEpoch    []uint64 // guards stale expiry timers across transitions
+	blacklisted  []bool
+	nodeFailures []int
+	blackCount   int // number of currently blacklisted nodes
+	// NodeExpirySecs is how long a node must stay down before the RM
+	// declares it lost and reclaims its containers (the NM liveness
+	// monitor's expiry interval, scaled to simulation time).
+	NodeExpirySecs float64
+	// BlacklistThreshold is how many task failures a node may host
+	// before the scheduler stops placing on it
+	// (mapreduce.job.maxtaskfailures.per.tracker). Zero disables
+	// blacklisting.
+	BlacklistThreshold int
 }
 
 // NewResourceManager returns an RM over the cluster with the given
@@ -200,6 +229,9 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *R
 
 		HotSpotFallbackDelay: 15,
 		retryAt:              -1,
+
+		NodeExpirySecs:     30,
+		BlacklistThreshold: 3,
 	}
 	n := len(c.Nodes)
 	rm.nodeCapMem = make([]float64, n)
@@ -214,6 +246,12 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *R
 		rm.nodeUsedMem[i] = node.Mem.Used()
 		rm.nodeVCores[i] = node.VCores
 	}
+	rm.nodeDown = make([]bool, n)
+	rm.declaredLost = make([]bool, n)
+	rm.downEpoch = make([]uint64, n)
+	rm.blacklisted = make([]bool, n)
+	rm.nodeFailures = make([]int, n)
+	c.SubscribeNodeState(rm.onNodeState)
 	return rm
 }
 
@@ -394,12 +432,19 @@ func (rm *ResourceManager) assign() {
 		return
 	}
 	placedAny := false
+	// When a third or more of the cluster is blacklisted, ignore the
+	// blacklist rather than starve (the AM node-blacklisting ignore
+	// threshold, 33% in Hadoop).
+	ignoreBlacklist := rm.blackCount*3 >= n
 	pass := func(useFilter bool, minAge float64) {
 		progress := true
 		for progress {
 			progress = false
 			for i := 0; i < n; i++ {
 				node := rm.c.Nodes[(rm.assignCur+i)%n]
+				if rm.nodeDown[node.ID] || (rm.blacklisted[node.ID] && !ignoreBlacklist) {
+					continue
+				}
 				if useFilter && rm.NodeFilter != nil && !rm.NodeFilter(node) {
 					continue
 				}
@@ -536,7 +581,8 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	if !app.CancelRequest(req) {
 		panic("yarn: placed request not pending")
 	}
-	cont := &Container{ID: rm.nextContID, Node: node, Resource: req.Resource, App: app, OnPreempt: req.OnPreempt}
+	cont := &Container{ID: rm.nextContID, Node: node, Resource: req.Resource, App: app,
+		OnPreempt: req.OnPreempt, OnNodeLost: req.OnNodeLost}
 	rm.nextContID++
 	rm.liveByApp[app] = append(rm.liveByApp[app], cont)
 	app.usedMemMB += req.Resource.MemMB
@@ -548,6 +594,16 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	rm.shapeCounts[req.Resource]++
 	delay := rm.SchedulingDelay
 	rm.eng.After(delay, func() {
+		if cont.released {
+			return // reclaimed by a node-loss declaration in the window
+		}
+		if rm.nodeDown[node.ID] {
+			// The node died inside the scheduling-delay window; the
+			// launch never happens. Reclaim the container right away
+			// (its loss notification would otherwise wait for expiry).
+			rm.reclaimLost(cont)
+			return
+		}
 		if req.OnAllocate != nil {
 			req.OnAllocate(cont)
 		}
