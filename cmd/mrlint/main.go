@@ -7,11 +7,23 @@
 //	go run ./cmd/mrlint ./...
 //	go run ./cmd/mrlint -rules no-wallclock,ordered-map-iter ./...
 //	go run ./cmd/mrlint -json ./... > findings.json
+//	go run ./cmd/mrlint -explain ./...        # full source→sink paths
+//	go run ./cmd/mrlint -suppressions ./...   # audit //mrlint:ignore directives
 //	go run ./cmd/mrlint -C internal/lint/testdata/badmod ./...
 //
 // The package patterns are accepted for familiarity but mrlint always
 // analyzes the entire module containing the working directory (or the
 // -C directory): determinism invariants are module-wide properties.
+//
+// -explain prints, under each interprocedural finding (nondet-flow),
+// the complete source→call-chain→sink path, one hop per line, like a
+// stack trace. With -json the same path is carried structurally in
+// each finding's "path" field.
+//
+// -suppressions lists every //mrlint:ignore directive in the module
+// with its file:line, rules, and reason. Combined with -json the
+// output becomes an object {"findings": [...], "suppressions": [...]}
+// instead of the bare findings array.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on load
 // or usage errors.
@@ -22,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -32,16 +45,18 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		rules   = flag.String("rules", "", "comma-separated rules to run (default: all)")
-		chdir   = flag.String("C", ".", "directory whose module to analyze")
-		list    = flag.Bool("list", false, "list available rules and exit")
+		jsonOut      = flag.Bool("json", false, "emit findings as JSON")
+		rules        = flag.String("rules", "", "comma-separated rules to run (default: all)")
+		chdir        = flag.String("C", ".", "directory whose module to analyze")
+		list         = flag.Bool("list", false, "list available rules and exit")
+		explain      = flag.Bool("explain", false, "print the full source→sink path under interprocedural findings")
+		suppressions = flag.Bool("suppressions", false, "list every //mrlint:ignore directive (file:line, rules, reason)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -64,20 +79,34 @@ func run() int {
 	}
 
 	findings := mod.Run(analyzers)
+	if findings == nil {
+		findings = []lint.Finding{}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
+		var payload any = findings
+		if *suppressions {
+			payload = struct {
+				Findings     []lint.Finding   `json:"findings"`
+				Suppressions []lint.Directive `json:"suppressions"`
+			}{findings, mod.Suppressions()}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintln(os.Stderr, "mrlint:", err)
 			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			if *explain && len(f.Path) > 0 {
+				fmt.Println(f.Explain())
+			} else {
+				fmt.Println(f)
+			}
+		}
+		if *suppressions {
+			printSuppressions(mod.Suppressions())
 		}
 	}
 	if len(findings) > 0 {
@@ -87,4 +116,23 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+func printSuppressions(dirs []lint.Directive) {
+	if len(dirs) == 0 {
+		fmt.Println("no //mrlint:ignore directives in the module")
+		return
+	}
+	fmt.Printf("%d active //mrlint:ignore directive(s):\n", len(dirs))
+	for _, d := range dirs {
+		status := ""
+		if d.Problem != "" {
+			status = " [MALFORMED: " + d.Problem + "]"
+		}
+		reason := d.Reason
+		if reason == "" {
+			reason = "(no reason)"
+		}
+		fmt.Printf("  %s:%d: %s — %s%s\n", d.File, d.Line, strings.Join(d.Rules, ","), reason, status)
+	}
 }

@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintModule measures the full whole-module lint: load,
+// typecheck, per-package rules, and the interprocedural taint fixpoint.
+// CI runs the same work through cmd/mrlint with a warn-only 10s budget;
+// this benchmark is the tracked number behind that budget.
+func BenchmarkLintModule(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		mod, err := LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := mod.Run(All()); len(findings) != 0 {
+			b.Fatalf("repository not clean: %v", findings)
+		}
+	}
+}

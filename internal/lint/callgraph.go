@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncNode is one module-declared function (or method) with a body, the
+// unit of the interprocedural analysis.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Callees are the module-internal functions this body calls, in
+	// first-call-site order, deduplicated.
+	Callees []*types.Func
+}
+
+// QualifiedName renders the node's name as package.Func or
+// package.(Recv).Method, matching how explanation paths refer to it.
+func (n *FuncNode) QualifiedName() string {
+	name := n.Fn.Name()
+	if sig, ok := n.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if n.Fn.Pkg() != nil {
+		return n.Fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// CallGraph is the module-wide function call graph: every declared
+// function with a body, plus caller→callee edges between them. Node
+// order is deterministic (package import-path order, then source
+// order), so every downstream traversal is reproducible.
+type CallGraph struct {
+	// Order lists every node in deterministic order.
+	Order []*FuncNode
+
+	// Nodes resolves a *types.Func to its node.
+	Nodes map[*types.Func]*FuncNode
+}
+
+// buildCallGraph indexes every function declaration of the module and
+// records the module-internal calls each body makes.
+func buildCallGraph(m *Module) *CallGraph {
+	cg := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				cg.Nodes[fn] = node
+				cg.Order = append(cg.Order, node)
+			}
+		}
+	}
+	// Second pass: edges. The node map must be complete first so calls
+	// to functions declared later (or in other packages) resolve.
+	for _, node := range cg.Order {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcForInfo(node.Pkg.Info, call.Fun)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, inModule := cg.Nodes[callee]; !inModule {
+				return true
+			}
+			seen[callee] = true
+			node.Callees = append(node.Callees, callee)
+			return true
+		})
+	}
+	return cg
+}

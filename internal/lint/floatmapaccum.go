@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatMapAccumAnalyzer implements the float-map-accum rule.
+// Floating-point addition and multiplication are not associative:
+// summing the values of a map in iteration order produces different
+// low-order bits on different runs, which breaks bit-reproducibility
+// even though "just summing" looks order-insensitive (it is — over
+// ints). This was a known false negative of ordered-map-iter, whose
+// aggregation escape deliberately tolerates accumulation.
+//
+// Flagged: a compound assignment (+=, -=, *=, /=) or x = x op ...
+// whose target is floating-point, inside the body of a range over a
+// map, when the accumulated expression depends on the iteration
+// variables (accumulating a loop-invariant adds the same value each
+// round in every order, which is exact). The fix is to iterate sorted
+// keys, or to accumulate in integers when the values are integral.
+var FloatMapAccumAnalyzer = &Analyzer{
+	Name: "float-map-accum",
+	Doc:  "flag floating-point accumulation inside map-range loops (FP non-associativity makes it order-dependent)",
+	Run:  runFloatMapAccum,
+}
+
+func runFloatMapAccum(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkFloatAccum(p, rs)
+			return true
+		})
+	}
+}
+
+// accumOps are the compound-assignment operators whose float semantics
+// are order-dependent.
+var accumOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD,
+	token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL,
+	token.QUO_ASSIGN: token.QUO,
+}
+
+func checkFloatAccum(p *Pass, rs *ast.RangeStmt) {
+	iterVars := rangeIterObjects(p, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if x != rs {
+				// A nested map range gets its own visit; its body's
+				// accumulations belong to the inner (also nondet) loop.
+				if t := p.Info.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			checkAccumAssign(p, rs, iterVars, x)
+			return true
+		}
+		return true
+	})
+}
+
+func checkAccumAssign(p *Pass, rs *ast.RangeStmt, iterVars map[types.Object]bool, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	if !isFloatExpr(p, lhs) {
+		return
+	}
+	var accumulated ast.Expr // the per-iteration contribution
+	if _, ok := accumOps[as.Tok]; ok {
+		accumulated = rhs
+	} else if as.Tok == token.ASSIGN {
+		// x = x op expr (or x = expr op x).
+		bin, ok := rhs.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		if _, isAccum := map[token.Token]bool{token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true}[bin.Op]; !isAccum {
+			return
+		}
+		target := rootIdentObj(p, lhs)
+		if target == nil {
+			return
+		}
+		switch {
+		case rootIdentObj(p, bin.X) == target:
+			accumulated = bin.Y
+		case rootIdentObj(p, bin.Y) == target:
+			accumulated = bin.X
+		default:
+			return
+		}
+	} else {
+		return
+	}
+	// Accumulating the same loop-invariant value every iteration is
+	// exact in any order; only iteration-dependent contributions vary.
+	if !mentionsAny(p, accumulated, iterVars) {
+		return
+	}
+	p.Report("float-map-accum", as.Pos(),
+		"floating-point accumulation into %s inside range over map %s depends on iteration order (FP is not associative); iterate sorted keys instead",
+		exprString(lhs), exprString(rs.X))
+}
+
+// rangeIterObjects collects the objects bound by the range statement's
+// key and value positions.
+func rangeIterObjects(p *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// mentionsAny reports whether e references any of the given objects.
+func mentionsAny(p *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && objs[obj] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isFloatExpr reports whether e has floating-point (or complex) type.
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -6,12 +6,24 @@
 // The analyzers lock in the invariants that make every simulation
 // bit-for-bit reproducible (see docs/LINTING.md):
 //
-//	no-wallclock       real time never leaks into simulated components
-//	no-global-rand     all randomness flows through seeded *rand.Rand
-//	ordered-map-iter   map iteration order never reaches output/events
-//	conf-key-literal   Hadoop parameter names come from mrconf constants
-//	config-get-in-loop hot scheduling loops read compiled config snapshots
-//	mutex-copy         sync.Mutex / sync.WaitGroup never passed by value
+//	no-wallclock          real time never leaks into simulated components
+//	no-global-rand        all randomness flows through seeded *rand.Rand
+//	ordered-map-iter      map iteration order never reaches output/events
+//	float-map-accum       no floating-point accumulation in map-range order
+//	nondet-flow           map-iteration order never reaches a sink through calls
+//	conf-key-literal      Hadoop parameter names come from mrconf constants
+//	config-get-in-loop    hot scheduling loops read compiled config snapshots
+//	mutex-copy            sync.Mutex / sync.WaitGroup never passed by value
+//	no-goroutine-in-sim   simulated packages stay single-threaded
+//	event-closure-capture scheduled closures snapshot state at schedule time
+//	malformed-directive   every suppression names a rule and a reason
+//
+// Most rules are intraprocedural and run per package. nondet-flow is
+// interprocedural: it builds a module-wide call graph and per-function
+// taint summaries (callgraph.go, taint.go) and propagates them to a
+// fixpoint, so a nondeterministically ordered value is tracked from its
+// source through any chain of calls to an order-sensitive sink. Its
+// findings carry the full source→call-chain→sink path (Finding.Path).
 //
 // Any finding can be suppressed — with a recorded reason — by a
 // directive comment on the offending line or on the line directly
@@ -30,24 +42,58 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at a source position.
+// Step is one hop of a source→sink explanation: where nondeterminism
+// entered, which calls carried it, and where it became observable.
+type Step struct {
+	File string `json:"file"` // module-root-relative path
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Func string `json:"func"` // enclosing function, package-qualified
+	What string `json:"what"` // what happens at this hop
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("%s:%d:%d: in %s: %s", s.File, s.Line, s.Col, s.Func, s.What)
+}
+
+// Finding is one rule violation at a source position. Interprocedural
+// findings additionally carry the source→sink path that explains them.
 type Finding struct {
 	File    string `json:"file"` // module-root-relative path
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+
+	// Path explains an interprocedural finding as an ordered chain of
+	// steps from the nondeterminism source to the order-sensitive sink
+	// (nondet-flow only; nil for intraprocedural rules).
+	Path []Step `json:"path,omitempty"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Explain renders the finding with its full path, one hop per indented
+// line, so a violation three functions deep reads like a stack trace.
+func (f Finding) Explain() string {
+	var b strings.Builder
+	b.WriteString(f.String())
+	for i, s := range f.Path {
+		fmt.Fprintf(&b, "\n    %d. %s", i+1, s)
+	}
+	return b.String()
+}
+
+// Analyzer is one named check. Per-package analyzers set Run and see
+// one type-checked package at a time; module analyzers set RunModule
+// and see the whole module (call graph, taint summaries) at once.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // All returns every analyzer in the suite, in stable order.
@@ -56,9 +102,14 @@ func All() []*Analyzer {
 		WallclockAnalyzer,
 		GlobalRandAnalyzer,
 		MapIterAnalyzer,
+		FloatMapAccumAnalyzer,
 		ConfKeyAnalyzer,
 		ConfigGetLoopAnalyzer,
 		MutexCopyAnalyzer,
+		GoroutineInSimAnalyzer,
+		EventClosureCaptureAnalyzer,
+		NondetFlowAnalyzer,
+		MalformedDirectiveAnalyzer,
 	}
 }
 
@@ -96,7 +147,18 @@ func RuleNames() []string {
 	return names
 }
 
-// Pass carries one type-checked package through the analyzers.
+// knownRule reports whether name is one of the suite's rule names.
+func knownRule(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through the per-package
+// analyzers.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -112,84 +174,43 @@ type Pass struct {
 	// populates it after checking that package.
 	ConfKeys map[string]bool
 
-	ignores  map[string]map[int]map[string]bool // file -> line -> rule set
+	dirs     *directiveIndex
 	findings *[]Finding
 }
 
-// NewPass assembles a pass and indexes its ignore directives.
-func NewPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, moduleRoot string, sink *[]Finding) *Pass {
-	p := &Pass{
+// NewPass assembles a pass over one package, sharing the module-wide
+// directive index (nil to index only this package's own files).
+func NewPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, moduleRoot string, dirs *directiveIndex, sink *[]Finding) *Pass {
+	if dirs == nil {
+		dirs = newDirectiveIndex(fset, moduleRoot)
+		for _, f := range files {
+			dirs.indexFile(f)
+		}
+	}
+	return &Pass{
 		Fset:       fset,
 		Files:      files,
 		Pkg:        pkg,
 		Info:       info,
 		ModuleRoot: moduleRoot,
 		findings:   sink,
-		ignores:    make(map[string]map[int]map[string]bool),
-	}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				p.indexDirective(c)
-			}
-		}
-	}
-	return p
-}
-
-const directivePrefix = "//mrlint:ignore"
-
-func (p *Pass) indexDirective(c *ast.Comment) {
-	if !strings.HasPrefix(c.Text, directivePrefix) {
-		return
-	}
-	rest := strings.TrimPrefix(c.Text, directivePrefix)
-	// Require a space (or end) after the prefix so "//mrlint:ignorex"
-	// is not a directive.
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return
-	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return // malformed: no rule named; never silently ignore everything
-	}
-	pos := p.Fset.Position(c.Pos())
-	byLine := p.ignores[pos.Filename]
-	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
-		p.ignores[pos.Filename] = byLine
-	}
-	for _, rule := range strings.Split(fields[0], ",") {
-		rule = strings.TrimSpace(rule)
-		if rule == "" {
-			continue
-		}
-		// The directive covers its own line and the line below, so it
-		// works both trailing the offending code and on its own line
-		// above it.
-		for _, line := range []int{pos.Line, pos.Line + 1} {
-			if byLine[line] == nil {
-				byLine[line] = make(map[string]bool)
-			}
-			byLine[line][rule] = true
-		}
+		dirs:       dirs,
 	}
 }
 
 // Ignored reports whether findings for rule at pos are suppressed by an
 // ignore directive.
 func (p *Pass) Ignored(rule string, pos token.Pos) bool {
-	position := p.Fset.Position(pos)
-	byLine := p.ignores[position.Filename]
-	if byLine == nil {
-		return false
-	}
-	return byLine[position.Line][rule]
+	return p.dirs.ignored(rule, p.Fset.Position(pos))
 }
 
 // Rel converts an absolute file name to a module-root-relative path.
 func (p *Pass) Rel(file string) string {
-	if rel, err := filepath.Rel(p.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+	return relPath(p.ModuleRoot, file)
+}
+
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 		return filepath.ToSlash(rel)
 	}
 	return filepath.ToSlash(file)
@@ -220,6 +241,63 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// ModulePass carries the whole module through the module-level
+// analyzers. The call graph and taint summaries are built once, on
+// first use, and shared by every module analyzer.
+type ModulePass struct {
+	Module *Module
+
+	dirs     *directiveIndex
+	findings *[]Finding
+
+	cg    *CallGraph
+	taint *taintResult
+}
+
+// CallGraph returns the module call graph, building it on first use.
+func (mp *ModulePass) CallGraph() *CallGraph {
+	if mp.cg == nil {
+		mp.cg = buildCallGraph(mp.Module)
+	}
+	return mp.cg
+}
+
+// Taint returns the interprocedural taint summaries, computing them on
+// first use.
+func (mp *ModulePass) Taint() *taintResult {
+	if mp.taint == nil {
+		mp.taint = computeTaint(mp.Module, mp.CallGraph())
+	}
+	return mp.taint
+}
+
+// Rel converts an absolute file name to a module-root-relative path.
+func (mp *ModulePass) Rel(file string) string {
+	return relPath(mp.Module.Root, file)
+}
+
+// Ignored reports whether findings for rule at pos are suppressed.
+func (mp *ModulePass) Ignored(rule string, pos token.Pos) bool {
+	return mp.dirs.ignored(rule, mp.Module.Fset.Position(pos))
+}
+
+// Report records a module-level finding (with an optional explanation
+// path) unless an ignore directive covers its position.
+func (mp *ModulePass) Report(rule string, pos token.Pos, path []Step, format string, args ...any) {
+	if mp.Ignored(rule, pos) {
+		return
+	}
+	position := mp.Module.Fset.Position(pos)
+	*mp.findings = append(*mp.findings, Finding{
+		File:    mp.Rel(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+		Path:    path,
+	})
+}
+
 // SortFindings orders findings by file, line, column, then rule, so
 // output is stable across runs.
 func SortFindings(fs []Finding) {
@@ -241,17 +319,23 @@ func SortFindings(fs []Finding) {
 // funcFor resolves an identifier or selector use to the *types.Func it
 // denotes, or nil.
 func (p *Pass) funcFor(expr ast.Expr) *types.Func {
+	return funcForInfo(p.Info, expr)
+}
+
+// funcForInfo resolves an identifier or selector use to the *types.Func
+// it denotes in the given type info, or nil.
+func funcForInfo(info *types.Info, expr ast.Expr) *types.Func {
 	switch e := expr.(type) {
 	case *ast.Ident:
-		if fn, ok := p.Info.Uses[e].(*types.Func); ok {
+		if fn, ok := info.Uses[e].(*types.Func); ok {
 			return fn
 		}
 	case *ast.SelectorExpr:
-		if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok {
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
 			return fn
 		}
 	case *ast.ParenExpr:
-		return p.funcFor(e.X)
+		return funcForInfo(info, e.X)
 	}
 	return nil
 }

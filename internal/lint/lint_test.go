@@ -7,10 +7,9 @@ import (
 	"testing"
 )
 
-// lintFiles writes the given files into a temporary module, loads it
-// with the production loader, and runs the selected rules (all when
-// rules is empty).
-func lintFiles(t *testing.T, rules string, files map[string]string) []Finding {
+// writeFixtureModule materializes the given files as a temporary
+// module (adding a default go.mod when absent) and returns its root.
+func writeFixtureModule(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	if _, ok := files["go.mod"]; !ok {
@@ -25,7 +24,15 @@ func lintFiles(t *testing.T, rules string, files map[string]string) []Finding {
 			t.Fatal(err)
 		}
 	}
-	mod, err := LoadModule(dir)
+	return dir
+}
+
+// lintFiles writes the given files into a temporary module, loads it
+// with the production loader, and runs the selected rules (all when
+// rules is empty).
+func lintFiles(t *testing.T, rules string, files map[string]string) []Finding {
+	t.Helper()
+	mod, err := LoadModule(writeFixtureModule(t, files))
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
 	}

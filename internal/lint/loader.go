@@ -39,6 +39,29 @@ type Module struct {
 	// declared in the module's internal/mrconf package (empty when the
 	// module has none).
 	ConfKeys map[string]bool
+
+	dirs *directiveIndex // lazily built module-wide suppression index
+}
+
+// directives returns the module-wide suppression-directive index,
+// building it on first use from every file of every package.
+func (m *Module) directives() *directiveIndex {
+	if m.dirs == nil {
+		m.dirs = newDirectiveIndex(m.Fset, m.Root)
+		for _, pkg := range m.Packages {
+			for _, f := range pkg.Files {
+				m.dirs.indexFile(f)
+			}
+		}
+	}
+	return m.dirs
+}
+
+// Suppressions lists every //mrlint:ignore directive in the module,
+// well-formed or not, ordered by file then line — the audit trail for
+// `mrlint -suppressions`.
+func (m *Module) Suppressions() []Directive {
+	return m.directives().sortedList()
 }
 
 // FindModuleRoot walks upward from dir to the nearest directory
@@ -334,15 +357,25 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	return m.fallback.Import(path)
 }
 
-// Run executes the given analyzers over every package of the module and
-// returns the sorted findings.
+// Run executes the given analyzers over every package of the module
+// (per-package analyzers), then over the module as a whole (module
+// analyzers), and returns the sorted findings.
 func (m *Module) Run(analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	dirs := m.directives()
 	for _, pkg := range m.Packages {
-		pass := NewPass(m.Fset, pkg.Files, pkg.Types, pkg.Info, m.Root, &findings)
+		pass := NewPass(m.Fset, pkg.Files, pkg.Types, pkg.Info, m.Root, dirs, &findings)
 		pass.ConfKeys = m.ConfKeys
 		for _, a := range analyzers {
-			a.Run(pass)
+			if a.Run != nil {
+				a.Run(pass)
+			}
+		}
+	}
+	mp := &ModulePass{Module: m, dirs: dirs, findings: &findings}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(mp)
 		}
 	}
 	SortFindings(findings)

@@ -121,6 +121,15 @@ func reportMapRangeCall(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, cal
 			if target != nil && sortedAfter(p, funcBody, rs, target) {
 				return
 			}
+			// A slice declared inside the loop (including the range
+			// variables themselves) is rebuilt every iteration: nothing
+			// accumulates across iterations, so iteration order cannot
+			// leak through it. Likewise when the first argument has no
+			// identifier root (append([]T{}, ...), append(f(), ...)):
+			// each iteration appends to a fresh value.
+			if target == nil || (target.Pos() >= rs.Pos() && target.Pos() < rs.End()) {
+				return
+			}
 			p.Report("ordered-map-iter", call.Pos(),
 				"append inside range over map %s leaks nondeterministic iteration order into a slice; collect keys and sort them first",
 				exprString(rs.X))

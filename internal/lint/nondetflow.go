@@ -1,0 +1,27 @@
+package lint
+
+// NondetFlowAnalyzer implements the nondet-flow rule, the
+// interprocedural generalization of ordered-map-iter: a value whose
+// content depends on map iteration order is tracked from its source
+// (a range over a map, possibly in a helper) through any chain of
+// module-internal calls to an order-sensitive sink — fmt output,
+// io.Writer/Builder writes, or sim.Engine event scheduling. It
+// catches the helper that returns unsorted map keys which a *caller*
+// then prints, which the per-function rule cannot see.
+//
+// Findings carry the full source→call-chain→sink path (Finding.Path);
+// `mrlint -explain` prints it like a stack trace and `-json` carries
+// it structurally. Flows whose source and sink are in the same
+// function are ordered-map-iter's job and are not re-reported here.
+var NondetFlowAnalyzer = &Analyzer{
+	Name:      "nondet-flow",
+	Doc:       "track map-iteration order across calls to output/event sinks (interprocedural, explainable paths)",
+	RunModule: runNondetFlow,
+}
+
+func runNondetFlow(mp *ModulePass) {
+	res := mp.Taint()
+	for _, flow := range res.Flows {
+		mp.Report("nondet-flow", flow.Pos, flow.Path, "%s", flow.Msg)
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//mrlint:ignore"
+
+// Directive is one parsed //mrlint:ignore comment. Well-formed
+// directives name at least one rule and carry a free-text reason;
+// anything else is recorded with a non-empty Problem and reported by
+// the malformed-directive analyzer.
+type Directive struct {
+	File   string   `json:"file"` // module-root-relative path
+	Line   int      `json:"line"`
+	Rules  []string `json:"rules,omitempty"`
+	Reason string   `json:"reason,omitempty"`
+
+	// Problem is empty for a well-formed directive; otherwise it
+	// explains what is wrong (no rule, no reason, unknown rule).
+	Problem string `json:"problem,omitempty"`
+}
+
+// directiveIndex holds every parsed suppression directive of the
+// module, plus the file→line→rule lookup the analyzers consult.
+type directiveIndex struct {
+	fset *token.FileSet
+	root string
+
+	// byFile maps absolute filename → line → suppressed rule set. A
+	// directive covers its own line and the line directly below it.
+	byFile map[string]map[int]map[string]bool
+
+	list []Directive
+}
+
+func newDirectiveIndex(fset *token.FileSet, root string) *directiveIndex {
+	return &directiveIndex{
+		fset:   fset,
+		root:   root,
+		byFile: make(map[string]map[int]map[string]bool),
+	}
+}
+
+// indexFile parses and records every directive comment in f.
+func (d *directiveIndex) indexFile(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d.indexComment(c)
+		}
+	}
+}
+
+func (d *directiveIndex) indexComment(c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	// Require a space (or end) after the prefix so "//mrlint:ignorex"
+	// is not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return
+	}
+	pos := d.fset.Position(c.Pos())
+	dir := Directive{File: relPath(d.root, pos.Filename), Line: pos.Line}
+
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		// Malformed: no rule named; never silently ignore everything.
+		dir.Problem = "directive names no rule; write //mrlint:ignore <rule> <reason>"
+		d.list = append(d.list, dir)
+		return
+	}
+	for _, rule := range strings.Split(fields[0], ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" {
+			continue
+		}
+		dir.Rules = append(dir.Rules, rule)
+		if dir.Problem == "" && !knownRule(rule) {
+			dir.Problem = fmt.Sprintf("directive names unknown rule %q", rule)
+		}
+	}
+	dir.Reason = strings.Join(fields[1:], " ")
+	if dir.Problem == "" && dir.Reason == "" {
+		dir.Problem = "directive has no reason; every suppression must say why"
+	}
+	d.list = append(d.list, dir)
+
+	byLine := d.byFile[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		d.byFile[pos.Filename] = byLine
+	}
+	for _, rule := range dir.Rules {
+		// The directive covers its own line and the line below, so it
+		// works both trailing the offending code and on its own line
+		// above it.
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			if byLine[line] == nil {
+				byLine[line] = make(map[string]bool)
+			}
+			byLine[line][rule] = true
+		}
+	}
+}
+
+// ignored reports whether rule findings at position are suppressed.
+func (d *directiveIndex) ignored(rule string, position token.Position) bool {
+	byLine := d.byFile[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[position.Line][rule]
+}
+
+// sortedList returns the directives ordered by file then line.
+func (d *directiveIndex) sortedList() []Directive {
+	out := make([]Directive, len(d.list))
+	copy(out, d.list)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// MalformedDirectiveAnalyzer implements the malformed-directive rule: a
+// suppression that names no rule would otherwise silently do nothing
+// (or worse, be believed to work), and one without a reason defeats the
+// audit trail the directives exist to provide.
+var MalformedDirectiveAnalyzer = &Analyzer{
+	Name: "malformed-directive",
+	Doc:  "flag //mrlint:ignore directives that name no rule, an unknown rule, or give no reason",
+}
+
+// The Run hook is attached in init: runMalformedDirective validates
+// rule names against All(), which includes this analyzer — assigning
+// it in the composite literal would be an initialization cycle.
+func init() { MalformedDirectiveAnalyzer.RunModule = runMalformedDirective }
+
+func runMalformedDirective(mp *ModulePass) {
+	for _, dir := range mp.Module.Suppressions() {
+		if dir.Problem == "" {
+			continue
+		}
+		*mp.findings = append(*mp.findings, Finding{
+			File:    dir.File,
+			Line:    dir.Line,
+			Col:     1,
+			Rule:    "malformed-directive",
+			Message: dir.Problem,
+		})
+	}
+}

@@ -1,0 +1,717 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the interprocedural nondeterminism-taint engine
+// behind the nondet-flow rule (nondetflow.go).
+//
+// The model: a value is "order-tainted" when its content depends on Go
+// map iteration order — the canonical example is a slice of keys
+// appended while ranging over a map. Taint propagates through
+// assignments, append, index/slice expressions, composite literals, a
+// few order-preserving stdlib helpers (fmt.Sprint*, strings.Join), and
+// — the interprocedural part — through module-internal calls, using a
+// per-function summary computed to a fixpoint over the call graph:
+//
+//	returnTaint[r]  result r is order-tainted regardless of arguments
+//	paramFlow[p][r] argument p flows into result r
+//	paramSink[p]    argument p reaches an order-sensitive sink inside
+//	                (or transitively below) the function
+//
+// Inserting into a map kills taint (maps have no order); passing a
+// slice to a recognized sort call kills the taint of that object (the
+// collect-then-sort idiom). Sinks are order-sensitive effects: fmt
+// output, io.Writer/Builder writes, and sim.Engine event scheduling.
+//
+// Every taint fact carries a witness path ([]Step) so a finding three
+// functions deep explains itself like a stack trace. Paths are set
+// once per summary slot and never replaced, which keeps the fixpoint
+// monotone and the output deterministic.
+//
+// Known limits (deliberate, to stay stdlib-only and false-positive
+// shy): no field-sensitivity (a tainted value stored in a struct field
+// taints the whole object only locally), no flow through pointer
+// out-parameters, receivers are not tracked as parameters, and
+// function values called indirectly are not resolved.
+
+// originKind distinguishes real nondeterminism sources from the
+// assumed-tainted parameters used to compute summaries.
+type originKind uint8
+
+const (
+	originSource originKind = iota // a range over a map in this module
+	originParam                    // parameter p of the function under analysis
+)
+
+type origin struct {
+	kind  originKind
+	param int
+}
+
+// taintSet maps each origin that may taint a value to the first
+// witness path discovered for it.
+type taintSet map[origin][]Step
+
+// merge adds the origins of src not already present in dst, returning
+// dst (allocating it when needed).
+func (dst taintSet) merge(src taintSet) taintSet {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(taintSet, len(src))
+	}
+	for o, path := range src {
+		if _, ok := dst[o]; !ok {
+			dst[o] = path
+		}
+	}
+	return dst
+}
+
+// withStep returns a copy of ts with step appended to every path.
+func (ts taintSet) withStep(step Step) taintSet {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make(taintSet, len(ts))
+	for o, path := range ts {
+		np := make([]Step, 0, len(path)+1)
+		np = append(np, path...)
+		np = append(np, step)
+		out[o] = np
+	}
+	return out
+}
+
+// summary is the interprocedural behavior of one function, as far as
+// order-taint is concerned. Slots are filled at most once.
+type summary struct {
+	returnTaint [][]Step        // per result; nil = clean
+	paramFlow   []map[int][]Step // per param: result index -> internal path
+	paramSink   [][]Step        // per param; nil = never reaches a sink
+}
+
+func newSummary(sig *types.Signature) *summary {
+	np := sig.Params().Len()
+	s := &summary{
+		returnTaint: make([][]Step, sig.Results().Len()),
+		paramFlow:   make([]map[int][]Step, np),
+		paramSink:   make([][]Step, np),
+	}
+	return s
+}
+
+// taintResult is the converged output of the engine: summaries for
+// every module function plus the interprocedural findings.
+type taintResult struct {
+	summaries map[*types.Func]*summary
+
+	// Flows are the source→sink violations whose path crosses at least
+	// one function boundary, in deterministic discovery order.
+	Flows []Flow
+}
+
+// Flow is one interprocedural source→sink violation.
+type Flow struct {
+	Pos  token.Pos
+	Path []Step
+	Msg  string
+}
+
+// computeTaint runs the engine over the whole module: summaries to a
+// fixpoint, then one reporting pass that records cross-function flows.
+func computeTaint(m *Module, cg *CallGraph) *taintResult {
+	res := &taintResult{summaries: make(map[*types.Func]*summary, len(cg.Order))}
+	for _, node := range cg.Order {
+		res.summaries[node.Fn] = newSummary(node.Fn.Type().(*types.Signature))
+	}
+	// Round-robin fixpoint. Taint facts are monotone bits (each summary
+	// slot is written at most once), so this terminates; the iteration
+	// cap is pure paranoia.
+	for iter := 0; iter < 32; iter++ {
+		changed := false
+		for _, node := range cg.Order {
+			fa := newFuncAnalysis(m, cg, res, node)
+			fa.analyze()
+			if fa.mergeSummary() {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Reporting pass: with summaries stable, collect real-source flows.
+	seen := make(map[token.Pos]bool)
+	for _, node := range cg.Order {
+		fa := newFuncAnalysis(m, cg, res, node)
+		fa.report = func(pos token.Pos, path []Step, msg string) {
+			if seen[pos] || !crossesFunctions(path) {
+				return
+			}
+			seen[pos] = true
+			res.Flows = append(res.Flows, Flow{Pos: pos, Path: path, Msg: msg})
+		}
+		fa.analyze()
+	}
+	return res
+}
+
+// crossesFunctions reports whether the path spans at least two distinct
+// functions — intraprocedural violations are ordered-map-iter's job.
+func crossesFunctions(path []Step) bool {
+	for _, s := range path[1:] {
+		if s.Func != path[0].Func {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAnalysis walks one function body, propagating taint and
+// recording summary facts (and, in the reporting pass, findings).
+type funcAnalysis struct {
+	m    *Module
+	cg   *CallGraph
+	res  *taintResult
+	node *FuncNode
+	info *types.Info
+
+	taints     map[types.Object]taintSet
+	paramIndex map[types.Object]int
+	resultObjs []types.Object // named results, for bare returns
+
+	sum    *summary // facts discovered this round, merged afterwards
+	report func(pos token.Pos, path []Step, msg string)
+
+	funcLits []*ast.FuncLit // spans, to attribute returns to the right function
+}
+
+func newFuncAnalysis(m *Module, cg *CallGraph, res *taintResult, node *FuncNode) *funcAnalysis {
+	sig := node.Fn.Type().(*types.Signature)
+	fa := &funcAnalysis{
+		m:          m,
+		cg:         cg,
+		res:        res,
+		node:       node,
+		info:       node.Pkg.Info,
+		taints:     make(map[types.Object]taintSet),
+		paramIndex: make(map[types.Object]int),
+		sum:        newSummary(sig),
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		fa.paramIndex[p] = i
+		fa.taints[p] = taintSet{origin{originParam, i}: nil}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if r.Name() != "" {
+			fa.resultObjs = append(fa.resultObjs, r)
+		}
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			fa.funcLits = append(fa.funcLits, fl)
+		}
+		return true
+	})
+	return fa
+}
+
+// step builds one explanation hop at pos.
+func (fa *funcAnalysis) step(pos token.Pos, format string, args ...any) Step {
+	position := fa.m.Fset.Position(pos)
+	return Step{
+		File: relPath(fa.m.Root, position.Filename),
+		Line: position.Line,
+		Col:  position.Column,
+		Func: fa.node.QualifiedName(),
+		What: fmt.Sprintf(format, args...),
+	}
+}
+
+// analyze walks the body three times in source order. Source order
+// approximates program order; the repeat passes carry taint across
+// loop back-edges. Sort kills are applied in encounter order, which
+// preserves the collect-then-sort idiom.
+func (fa *funcAnalysis) analyze() {
+	for pass := 0; pass < 3; pass++ {
+		ast.Inspect(fa.node.Decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				fa.handleRange(x)
+			case *ast.AssignStmt:
+				fa.handleAssign(x)
+			case *ast.ValueSpec:
+				fa.handleValueSpec(x)
+			case *ast.CallExpr:
+				fa.handleCall(x)
+			case *ast.ReturnStmt:
+				fa.handleReturn(x)
+			}
+			return true
+		})
+	}
+}
+
+// mergeSummary folds this round's facts into the stored summary,
+// reporting whether anything new was learned.
+func (fa *funcAnalysis) mergeSummary() bool {
+	stored := fa.res.summaries[fa.node.Fn]
+	changed := false
+	for i, path := range fa.sum.returnTaint {
+		if path != nil && stored.returnTaint[i] == nil {
+			stored.returnTaint[i] = path
+			changed = true
+		}
+	}
+	for p, flows := range fa.sum.paramFlow {
+		for r, path := range flows {
+			if stored.paramFlow[p] == nil {
+				stored.paramFlow[p] = make(map[int][]Step)
+			}
+			if _, ok := stored.paramFlow[p][r]; !ok {
+				stored.paramFlow[p][r] = path
+				changed = true
+			}
+		}
+	}
+	for p, path := range fa.sum.paramSink {
+		if path != nil && stored.paramSink[p] == nil {
+			stored.paramSink[p] = path
+			changed = true
+		}
+	}
+	return changed
+}
+
+// inFuncLit reports whether pos lies inside a nested function literal
+// (whose returns must not be attributed to the declaration).
+func (fa *funcAnalysis) inFuncLit(pos token.Pos) bool {
+	for _, fl := range fa.funcLits {
+		if pos >= fl.Pos() && pos < fl.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// addTaint merges ts into obj's taint, keeping existing witnesses.
+func (fa *funcAnalysis) addTaint(obj types.Object, ts taintSet) {
+	if obj == nil || len(ts) == 0 {
+		return
+	}
+	fa.taints[obj] = fa.taints[obj].merge(ts)
+}
+
+// killTaint removes every origin from obj — the value has been sorted.
+func (fa *funcAnalysis) killTaint(obj types.Object) {
+	if obj != nil {
+		delete(fa.taints, obj)
+	}
+}
+
+// objFor resolves the root object of an lvalue-ish expression.
+func (fa *funcAnalysis) objFor(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := fa.info.Uses[x]; obj != nil {
+				return obj
+			}
+			return fa.info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether e's type is (or is underlyingly) a map.
+func (fa *funcAnalysis) isMapType(e ast.Expr) bool {
+	t := fa.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// exprTaint computes the taint carried by an expression.
+func (fa *funcAnalysis) exprTaint(e ast.Expr) taintSet {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := fa.info.Uses[x]; obj != nil {
+			return fa.taints[obj]
+		}
+		if obj := fa.info.Defs[x]; obj != nil {
+			return fa.taints[obj]
+		}
+	case *ast.ParenExpr:
+		return fa.exprTaint(x.X)
+	case *ast.StarExpr:
+		return fa.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		return fa.exprTaint(x.X)
+	case *ast.TypeAssertExpr:
+		return fa.exprTaint(x.X)
+	case *ast.BinaryExpr:
+		var ts taintSet
+		ts = ts.merge(fa.exprTaint(x.X))
+		ts = ts.merge(fa.exprTaint(x.Y))
+		return ts
+	case *ast.IndexExpr:
+		var ts taintSet
+		if !fa.isMapType(x.X) {
+			// Element of an order-tainted slice.
+			ts = ts.merge(fa.exprTaint(x.X))
+		}
+		// Selecting by an order-tainted key is order-driven either way.
+		ts = ts.merge(fa.exprTaint(x.Index))
+		return ts
+	case *ast.SliceExpr:
+		return fa.exprTaint(x.X)
+	case *ast.SelectorExpr:
+		if fa.info.Uses[x.Sel] != nil {
+			if _, isFunc := fa.info.Uses[x.Sel].(*types.Func); isFunc {
+				return nil
+			}
+		}
+		return fa.exprTaint(x.X)
+	case *ast.CompositeLit:
+		if fa.isMapType(x) {
+			return nil // maps carry no order
+		}
+		var ts taintSet
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			ts = ts.merge(fa.exprTaint(el))
+		}
+		return ts
+	case *ast.CallExpr:
+		return fa.callResultTaint(x)
+	}
+	return nil
+}
+
+// sprintFuncs are fmt formatters that preserve argument order into
+// their result instead of writing it out.
+var sprintFuncs = map[string]bool{"Sprint": true, "Sprintf": true, "Sprintln": true}
+
+// callResultTaint computes the taint of a call's result value(s),
+// merged (multi-result calls are handled element-wise by handleAssign).
+func (fa *funcAnalysis) callResultTaint(call *ast.CallExpr) taintSet {
+	// Type conversions preserve content, hence order.
+	if tv, ok := fa.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return fa.exprTaint(call.Args[0])
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := fa.info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" {
+				var ts taintSet
+				for _, a := range call.Args {
+					ts = ts.merge(fa.exprTaint(a))
+				}
+				return ts
+			}
+			return nil // len, cap, make, ... carry no order
+		}
+	}
+	fn := funcForInfo(fa.info, call.Fun)
+	if fn == nil {
+		return nil
+	}
+	// Order-preserving stdlib helpers.
+	if pkgPath(fn) == "fmt" && sprintFuncs[fn.Name()] ||
+		(pkgPath(fn) == "strings" || pkgPath(fn) == "bytes") && fn.Name() == "Join" {
+		var ts taintSet
+		for _, a := range call.Args {
+			ts = ts.merge(fa.exprTaint(a))
+		}
+		return ts
+	}
+	node, ok := fa.cg.Nodes[fn]
+	if !ok {
+		return nil
+	}
+	sum := fa.res.summaries[fn]
+	var ts taintSet
+	// Results tainted by the callee's own sources.
+	for r := 0; r < len(sum.returnTaint); r++ {
+		if sum.returnTaint[r] == nil {
+			continue
+		}
+		path := append(append([]Step{}, sum.returnTaint[r]...),
+			fa.step(call.Pos(), "call to %s yields a nondeterministically ordered value", node.QualifiedName()))
+		ts = ts.merge(taintSet{origin{originSource, 0}: path})
+		break // one witness is enough for a merged result set
+	}
+	// Results tainted by order-tainted arguments flowing through.
+	sig := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		argTaint := fa.exprTaint(arg)
+		if len(argTaint) == 0 {
+			continue
+		}
+		p := paramIndexFor(sig, i)
+		if p < 0 || p >= len(sum.paramFlow) || len(sum.paramFlow[p]) == 0 {
+			continue
+		}
+		// Deterministic witness: the lowest result index that p flows to.
+		var internal []Step
+		for r := 0; r < sig.Results().Len(); r++ {
+			if path, ok := sum.paramFlow[p][r]; ok {
+				internal = path
+				break
+			}
+		}
+		through := argTaint.withStep(fa.step(arg.Pos(), "passed to %s (argument %d)", node.QualifiedName(), i+1))
+		for o, path := range through {
+			through[o] = append(path, internal...)
+		}
+		ts = ts.merge(through)
+	}
+	return ts
+}
+
+// paramIndexFor maps argument index i to the callee's parameter index,
+// clamping variadic tails.
+func paramIndexFor(sig *types.Signature, i int) int {
+	np := sig.Params().Len()
+	if np == 0 {
+		return -1
+	}
+	if sig.Variadic() && i >= np-1 {
+		return np - 1
+	}
+	if i >= np {
+		return -1
+	}
+	return i
+}
+
+// handleRange seeds taint at range statements: map ranges are the
+// nondeterminism source; ranging over a tainted slice propagates.
+func (fa *funcAnalysis) handleRange(rs *ast.RangeStmt) {
+	if fa.isMapType(rs.X) {
+		src := fa.step(rs.Pos(), "range over map %s yields elements in nondeterministic order", exprString(rs.X))
+		seed := taintSet{origin{originSource, 0}: []Step{src}}
+		fa.addTaint(fa.objFor(rs.Key), seed)
+		fa.addTaint(fa.objFor(rs.Value), seed)
+		return
+	}
+	if xt := fa.exprTaint(rs.X); len(xt) > 0 {
+		prop := xt.withStep(fa.step(rs.Pos(), "ranges over the nondeterministically ordered %s", exprString(rs.X)))
+		fa.addTaint(fa.objFor(rs.Value), prop)
+	}
+}
+
+// handleAssign propagates taint through assignments, including
+// multi-value calls and compound assignment operators.
+func (fa *funcAnalysis) handleAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, y := f(...) — a merged result set is assigned to each LHS;
+		// element-wise precision is not worth the complexity here.
+		ts := fa.exprTaint(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			fa.assignTo(lhs, ts)
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		ts := fa.exprTaint(rhs)
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			// Compound ops keep whatever taint the target already has.
+			ts = ts.merge(fa.exprTaint(as.Lhs[i]))
+		}
+		fa.assignTo(as.Lhs[i], ts)
+	}
+}
+
+// assignTo taints the root object of lhs, unless the write lands in a
+// map (which erases order).
+func (fa *funcAnalysis) assignTo(lhs ast.Expr, ts taintSet) {
+	if len(ts) == 0 {
+		return
+	}
+	if ix, ok := lhs.(*ast.IndexExpr); ok && fa.isMapType(ix.X) {
+		return // m[k] = v: map insertion kills order
+	}
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	fa.addTaint(fa.objFor(lhs), ts)
+}
+
+// handleValueSpec propagates taint through var declarations.
+func (fa *funcAnalysis) handleValueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		var ts taintSet
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			ts = fa.exprTaint(vs.Values[0])
+		} else if i < len(vs.Values) {
+			ts = fa.exprTaint(vs.Values[i])
+		}
+		if obj := fa.info.Defs[name]; obj != nil {
+			fa.addTaint(obj, ts)
+		}
+	}
+}
+
+// handleCall applies call side effects: sort kills, sink checks, and
+// taint handoff into module-internal callees that sink a parameter.
+func (fa *funcAnalysis) handleCall(call *ast.CallExpr) {
+	fn := funcForInfo(fa.info, call.Fun)
+	if fn == nil {
+		return
+	}
+	// Sorting re-establishes a deterministic order: kill the taint.
+	if isSortFunc(fn) && len(call.Args) > 0 {
+		fa.killTaint(fa.objFor(call.Args[0]))
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Package-level output sinks: fmt printers and io.WriteString.
+	if sig != nil && sig.Recv() == nil &&
+		(pkgPath(fn) == "fmt" && outputFuncs[fn.Name()] ||
+			pkgPath(fn) == "io" && fn.Name() == "WriteString") {
+		fa.sinkArgs(call, "%s.%s writes it to output", fn.Pkg().Name(), fn.Name())
+		return
+	}
+	if sig != nil && sig.Recv() != nil {
+		// Stream/builder writers.
+		if writeMethods[fn.Name()] {
+			fa.sinkArgs(call, "%s writes it to the output stream", fn.Name())
+			return
+		}
+		// Simulation event scheduling.
+		if simSchedulers[fn.Name()] && pathIsSimEngine(recvPkgPath(sig), sig) {
+			fa.sinkArgs(call, "Engine.%s schedules an event with it (same-timestamp tie-break order becomes nondeterministic)", fn.Name())
+			return
+		}
+	}
+
+	// Module-internal callee whose parameter reaches a sink.
+	node, ok := fa.cg.Nodes[fn]
+	if !ok {
+		return
+	}
+	sum := fa.res.summaries[fn]
+	for i, arg := range call.Args {
+		argTaint := fa.exprTaint(arg)
+		if len(argTaint) == 0 {
+			continue
+		}
+		p := paramIndexFor(sig, i)
+		if p < 0 || p >= len(sum.paramSink) || sum.paramSink[p] == nil {
+			continue
+		}
+		handoff := fa.step(arg.Pos(), "passed to %s (argument %d)", node.QualifiedName(), i+1)
+		for o, path := range argTaint {
+			full := make([]Step, 0, len(path)+1+len(sum.paramSink[p]))
+			full = append(full, path...)
+			full = append(full, handoff)
+			full = append(full, sum.paramSink[p]...)
+			fa.recordSink(o, call.Pos(), full,
+				"order-tainted value reaches an order-sensitive sink inside %s", node.QualifiedName())
+		}
+	}
+}
+
+// sinkArgs records a sink hit for every order-tainted argument.
+func (fa *funcAnalysis) sinkArgs(call *ast.CallExpr, format string, args ...any) {
+	for _, arg := range call.Args {
+		ts := fa.exprTaint(arg)
+		if len(ts) == 0 {
+			continue
+		}
+		sink := fa.step(call.Pos(), format, args...)
+		for o, path := range ts {
+			full := make([]Step, 0, len(path)+1)
+			full = append(full, path...)
+			full = append(full, sink)
+			fa.recordSink(o, call.Pos(), full, "%s", sink.What)
+		}
+	}
+}
+
+// recordSink routes a sink hit: parameter-origin hits become summary
+// facts (the caller is responsible); source-origin hits become
+// findings in the reporting pass.
+func (fa *funcAnalysis) recordSink(o origin, pos token.Pos, path []Step, format string, args ...any) {
+	switch o.kind {
+	case originParam:
+		if o.param < len(fa.sum.paramSink) && fa.sum.paramSink[o.param] == nil {
+			fa.sum.paramSink[o.param] = path
+		}
+	case originSource:
+		if fa.report != nil && len(path) > 0 {
+			src := path[0]
+			fa.report(pos, path, fmt.Sprintf(
+				"map-iteration order (from %s:%d) reaches an order-sensitive sink: %s; sort before it escapes (run with -explain for the path)",
+				src.File, src.Line, fmt.Sprintf(format, args...)))
+		}
+	}
+}
+
+// handleReturn records summary facts for returns of the declaration
+// itself (returns inside nested function literals are skipped).
+func (fa *funcAnalysis) handleReturn(ret *ast.ReturnStmt) {
+	if fa.inFuncLit(ret.Pos()) {
+		return
+	}
+	record := func(r int, ts taintSet) {
+		for o, path := range ts {
+			switch o.kind {
+			case originSource:
+				if r < len(fa.sum.returnTaint) && fa.sum.returnTaint[r] == nil {
+					full := append(append([]Step{}, path...),
+						fa.step(ret.Pos(), "returned to caller still in nondeterministic order"))
+					fa.sum.returnTaint[r] = full
+				}
+			case originParam:
+				if o.param >= len(fa.sum.paramFlow) {
+					continue
+				}
+				if fa.sum.paramFlow[o.param] == nil {
+					fa.sum.paramFlow[o.param] = make(map[int][]Step)
+				}
+				if _, ok := fa.sum.paramFlow[o.param][r]; !ok {
+					full := append(append([]Step{}, path...),
+						fa.step(ret.Pos(), "returned to caller"))
+					fa.sum.paramFlow[o.param][r] = full
+				}
+			}
+		}
+	}
+	if len(ret.Results) == 0 {
+		// Bare return with named results.
+		for r, obj := range fa.resultObjs {
+			record(r, fa.taints[obj])
+		}
+		return
+	}
+	for r, expr := range ret.Results {
+		record(r, fa.exprTaint(expr))
+	}
+}

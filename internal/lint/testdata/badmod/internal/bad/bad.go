@@ -5,11 +5,13 @@
 package bad
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"badmod/internal/mrconf"
+	"badmod/internal/order"
 	"badmod/internal/sim"
 )
 
@@ -50,4 +52,42 @@ func LockByValue(mu sync.Mutex, wg sync.WaitGroup) { // want mutex-copy
 	mu.Lock()
 	defer mu.Unlock()
 	wg.Wait()
+}
+
+// FloatAccum violates float-map-accum: FP addition is not associative,
+// so the low-order bits of the sum depend on iteration order.
+func FloatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want float-map-accum
+	}
+	return sum
+}
+
+// PrintUnsorted violates nondet-flow: the nondeterministic order
+// escapes order.Keys and only reaches an output sink here, one package
+// and two functions away from the map range.
+func PrintUnsorted(m map[string]int) {
+	for _, k := range order.Keys(m) {
+		fmt.Println(k) // want nondet-flow
+	}
+}
+
+// lastID records what the scheduled event observed at fire time.
+var lastID string
+
+// CaptureMutated violates event-closure-capture: idx is rewritten
+// after the event is scheduled, so the closure reads the mutated value
+// when it fires, not the value at schedule time.
+func CaptureMutated(e *sim.Engine, ids []string) {
+	idx := 0
+	e.At(5, func() { lastID = ids[idx] }) // want event-closure-capture
+	idx = len(ids) - 1
+}
+
+// MalformedSuppression carries a directive that names no rule: it
+// suppresses nothing and is itself a finding.
+func MalformedSuppression() int {
+	//mrlint:ignore
+	return 42 // want malformed-directive (reported on the directive line)
 }

@@ -1,0 +1,16 @@
+// Package order is the cross-package nondeterminism source for the
+// nondet-flow fixture: Keys returns map keys in iteration order, and
+// the violation only becomes visible in the caller (internal/bad),
+// two functions and one package away.
+package order
+
+// Keys returns m's keys unsorted. The local append is suppressed with
+// a reasoned directive so the fixture demonstrates that suppressing
+// the intraprocedural rule does not hide the interprocedural leak.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) //mrlint:ignore ordered-map-iter fixture: the interprocedural escape is the point
+	}
+	return ks
+}

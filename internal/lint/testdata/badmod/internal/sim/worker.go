@@ -1,0 +1,25 @@
+// worker.go deliberately violates no-goroutine-in-sim: badmod/internal/sim
+// has the import-path suffix of a simulated package, where goroutines,
+// channels, and sync primitives break the single-threaded event-loop
+// invariant.
+package sim
+
+import "sync"
+
+// Fanout runs callbacks on goroutines and joins them over a channel —
+// exactly the OS-scheduler ordering the rule forbids.
+func (e *Engine) Fanout(fns []func()) {
+	var mu sync.Mutex // want no-goroutine-in-sim
+	done := make(chan struct{}, len(fns))
+	for _, fn := range fns {
+		go func() { // want no-goroutine-in-sim
+			mu.Lock()
+			fn()
+			mu.Unlock()
+			done <- struct{}{} // want no-goroutine-in-sim
+		}()
+	}
+	for range fns {
+		<-done // want no-goroutine-in-sim
+	}
+}
