@@ -24,12 +24,12 @@ test-short:
 # Run every benchmark (figure-level in the module root plus the
 # micro-benchmarks under internal/), archive the results as JSON via
 # cmd/benchjson, and refresh the "after" leg of the committed
-# before/after record BENCH_PR3.json (its "before" leg is the frozen
-# pre-optimization baseline that CI's Fig-4 regression check and
-# docs/MODEL.md §9 refer to). See README.md "Machine-readable
-# benchmarks".
+# before/after record BENCH_PR7.json (its "before" leg is the frozen
+# pre-sharding global-heap engine that CI's regression checks and
+# docs/MODEL.md §13 refer to; BENCH_PR3.json keeps the earlier
+# hot-path record). See README.md "Machine-readable benchmarks".
 BENCH_OUT ?= bench.json
-BENCH_ARCHIVE ?= BENCH_PR3.json
+BENCH_ARCHIVE ?= BENCH_PR7.json
 bench:
 	go test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/... \
 		| tee /dev/stderr | go run ./cmd/benchjson -o $(BENCH_OUT) \

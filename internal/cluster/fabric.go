@@ -133,7 +133,7 @@ func (f *Flow) SetOnAbort(fn func()) { f.onAbort = fn }
 // to the connected component of the changed flow.
 type Fabric struct {
 	Name  string
-	eng   *sim.Engine
+	shard *sim.Shard
 	links []*Link
 	flows []*Flow
 
@@ -151,10 +151,16 @@ type Fabric struct {
 	activeFlows []*Flow
 }
 
-// NewFabric returns an empty fabric bound to the engine.
-func NewFabric(eng *sim.Engine, name string) *Fabric {
-	return &Fabric{Name: name, eng: eng}
+// NewFabric returns an empty fabric bound to the shard that owns its
+// state: the rack shard for a node-local domain (disk, CPU pool), the
+// system shard for the cluster network. Every completion event the
+// fabric schedules carries that affinity.
+func NewFabric(shard *sim.Shard, name string) *Fabric {
+	return &Fabric{Name: name, shard: shard}
 }
+
+// Shard returns the shard the fabric schedules on.
+func (fb *Fabric) Shard() *sim.Shard { return fb.shard }
 
 // AddLink registers a link with the fabric and returns it.
 func (fb *Fabric) AddLink(name string, capacity float64) *Link {
@@ -162,7 +168,7 @@ func (fb *Fabric) AddLink(name string, capacity float64) *Link {
 		panic(fmt.Sprintf("cluster: link %q must have positive capacity, got %v", name, capacity))
 	}
 	l := &Link{Name: name, Capacity: capacity}
-	l.used.Set(fb.eng.Now(), 0) // anchor utilization accounting at creation
+	l.used.Set(fb.shard.Now(), 0) // anchor utilization accounting at creation
 	fb.links = append(fb.links, l)
 	return l
 }
@@ -192,7 +198,7 @@ func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow
 	if work == 0 {
 		// Zero-size work completes immediately (but asynchronously, to
 		// keep callback ordering uniform).
-		fb.eng.After(0, func() {
+		fb.shard.After(0, func() {
 			if !f.finished {
 				f.finished = true
 				if done != nil {
@@ -223,7 +229,7 @@ func (fb *Fabric) Cancel(f *Flow) {
 	}
 	f.finished = true
 	if f.ev != nil {
-		fb.eng.Cancel(f.ev)
+		fb.shard.Cancel(f.ev)
 		f.ev = nil
 	}
 	if f.index >= 0 {
@@ -242,7 +248,7 @@ func (fb *Fabric) Abort(f *Flow) {
 	fn := f.onAbort
 	fb.Cancel(f)
 	if fn != nil {
-		fb.eng.After(0, fn)
+		fb.shard.After(0, fn)
 	}
 }
 
@@ -324,7 +330,7 @@ func (fb *Fabric) complete(f *Flow) {
 // transitively, so their fair-share rates — and therefore their
 // scheduled completion events — are provably unaffected.
 func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
-	now := fb.eng.Now()
+	now := fb.shard.Now()
 
 	// Sweep out the connected component (links and flows) from the
 	// seeds. visit stamps make membership checks O(1) without clearing.
@@ -532,12 +538,12 @@ func (fb *Fabric) recompute(seeds []*Link, seedFlow *Flow) {
 			if f.ev != nil {
 				// Move the queued completion in place instead of
 				// cancel+allocate (canceled events are never recycled).
-				f.ev = fb.eng.Reschedule(f.ev, now+f.remaining/f.rate)
+				f.ev = fb.shard.Reschedule(f.ev, now+f.remaining/f.rate)
 			} else {
-				f.ev = fb.eng.After(f.remaining/f.rate, f.onComplete)
+				f.ev = fb.shard.After(f.remaining/f.rate, f.onComplete)
 			}
 		} else if f.ev != nil {
-			fb.eng.Cancel(f.ev)
+			fb.shard.Cancel(f.ev)
 			f.ev = nil
 		}
 	}

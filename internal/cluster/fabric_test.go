@@ -13,7 +13,7 @@ func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestSingleFlowFullBandwidth(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var doneAt float64 = -1
 	fb.Start([]*Link{l}, 500, 0, func() { doneAt = eng.Now() })
@@ -25,7 +25,7 @@ func TestSingleFlowFullBandwidth(t *testing.T) {
 
 func TestTwoFlowsShareFairly(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var t1, t2 float64
 	fb.Start([]*Link{l}, 500, 0, func() { t1 = eng.Now() })
@@ -39,7 +39,7 @@ func TestTwoFlowsShareFairly(t *testing.T) {
 
 func TestShorterFlowReleasesBandwidth(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var tShort, tLong float64
 	fb.Start([]*Link{l}, 100, 0, func() { tShort = eng.Now() })
@@ -57,7 +57,7 @@ func TestShorterFlowReleasesBandwidth(t *testing.T) {
 
 func TestLateArrivalSlowsExisting(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var tA, tB float64
 	fb.Start([]*Link{l}, 400, 0, func() { tA = eng.Now() })
@@ -77,7 +77,7 @@ func TestLateArrivalSlowsExisting(t *testing.T) {
 
 func TestRateCapHonored(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var tCapped, tFree float64
 	fb.Start([]*Link{l}, 100, 10, func() { tCapped = eng.Now() })
@@ -94,7 +94,7 @@ func TestRateCapHonored(t *testing.T) {
 
 func TestMultiLinkBottleneck(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	fast := fb.AddLink("fast", 100)
 	slow := fb.AddLink("slow", 20)
 	var done float64
@@ -110,7 +110,7 @@ func TestCrossLinkMaxMin(t *testing.T) {
 	// A and B both 100. Max-min: X gets 50 on both, Y gets 50 on A,
 	// Z gets 50 on B.
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	a := fb.AddLink("a", 100)
 	b := fb.AddLink("b", 100)
 	var tX, tY, tZ float64
@@ -127,7 +127,7 @@ func TestAsymmetricMaxMin(t *testing.T) {
 	// Link a=100 shared by X (a only) and W (a+b), b=30 shared by W.
 	// W is bottlenecked at b: W gets 30, X gets 70.
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	a := fb.AddLink("a", 100)
 	b := fb.AddLink("b", 30)
 	// Keep b saturated with another flow so W's share on b is 15:
@@ -144,7 +144,7 @@ func TestAsymmetricMaxMin(t *testing.T) {
 
 func TestCancelFlow(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	fired := false
 	var tOther float64
@@ -163,7 +163,7 @@ func TestCancelFlow(t *testing.T) {
 
 func TestZeroWorkCompletesImmediately(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var done float64 = -1
 	fb.Start([]*Link{l}, 0, 0, func() { done = eng.Now() })
@@ -175,7 +175,7 @@ func TestZeroWorkCompletesImmediately(t *testing.T) {
 
 func TestLinkUtilization(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	fb.Start([]*Link{l}, 100, 0, nil) // busy 0..1
 	eng.Run()
@@ -187,7 +187,7 @@ func TestLinkUtilization(t *testing.T) {
 
 func TestCapOnlyFlowNoLinks(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	var done float64 = -1
 	fb.Start(nil, 100, 25, func() { done = eng.Now() })
 	eng.Run()
@@ -198,7 +198,7 @@ func TestCapOnlyFlowNoLinks(t *testing.T) {
 
 func TestUncappedNoLinkPanics(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no-link, no-cap flow did not panic")
@@ -223,7 +223,7 @@ func TestWorkConservationProperty(t *testing.T) {
 			return true
 		}
 		eng := sim.NewEngine()
-		fb := NewFabric(eng, "test")
+		fb := NewFabric(eng.SystemShard(), "test")
 		l := fb.AddLink("l", 50)
 		last := 0.0
 		for _, w := range works {
@@ -252,7 +252,7 @@ func TestCapBoundsProperty(t *testing.T) {
 			return true
 		}
 		eng := sim.NewEngine()
-		fb := NewFabric(eng, "test")
+		fb := NewFabric(eng.SystemShard(), "test")
 		l := fb.AddLink("l", 80)
 		type rec struct {
 			work, cap float64
@@ -293,7 +293,7 @@ func TestFabricChurnProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		eng := sim.NewEngine()
 		eng.MaxEvents = 1_000_000
-		fb := NewFabric(eng, "churn")
+		fb := NewFabric(eng.SystemShard(), "churn")
 		links := []*Link{fb.AddLink("a", 50), fb.AddLink("b", 80), fb.AddLink("c", 20)}
 
 		type rec struct {
@@ -363,7 +363,7 @@ func TestFabricChurnProperty(t *testing.T) {
 // stale completion event for the canceled flow can fire.
 func TestCancelInsideCompletionCascade(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	var b *Flow
 	bFired := false
@@ -391,7 +391,7 @@ func TestCancelInsideCompletionCascade(t *testing.T) {
 // order breaks the tie deterministically: exactly one callback runs.
 func TestSimultaneousCompletionCancel(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	fired := 0
 	var a, b *Flow
@@ -412,7 +412,7 @@ func TestSimultaneousCompletionCancel(t *testing.T) {
 // other flow runs at the identical share.
 func TestRateCapExactlyAtFairShare(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	tCapped, tFree := -1.0, -1.0
 	capped := fb.Start([]*Link{l}, 100, 50, func() { tCapped = eng.Now() })
@@ -435,7 +435,7 @@ func TestRateCapExactlyAtFairShare(t *testing.T) {
 // finish promptly once the contention is canceled.
 func TestStarvedFlowResumesAndCompletes(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	l := fb.AddLink("l", 100)
 	victimDone := -1.0
 	victim := fb.Start([]*Link{l}, 100, 0, func() { victimDone = eng.Now() })
@@ -465,7 +465,7 @@ func TestStarvedFlowResumesAndCompletes(t *testing.T) {
 // incremental recompute never touches its rate or completion event.
 func TestUntouchedComponentKeepsExactSchedule(t *testing.T) {
 	eng := sim.NewEngine()
-	fb := NewFabric(eng, "test")
+	fb := NewFabric(eng.SystemShard(), "test")
 	la := fb.AddLink("a", 100)
 	lb := fb.AddLink("b", 80)
 	quietDone := -1.0

@@ -14,16 +14,17 @@ type MemPool struct {
 	Name     string
 	Capacity float64 // MB
 	used     float64
-	eng      *sim.Engine
+	shard    *sim.Shard
 	meter    metrics.Meter
 }
 
-// NewMemPool returns a pool of capacity MB.
-func NewMemPool(eng *sim.Engine, name string, capacity float64) *MemPool {
+// NewMemPool returns a pool of capacity MB, owned by the given shard
+// (the rack shard of the node the pool models).
+func NewMemPool(shard *sim.Shard, name string, capacity float64) *MemPool {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cluster: mem pool %q must have positive capacity", name))
 	}
-	return &MemPool{Name: name, Capacity: capacity, eng: eng}
+	return &MemPool{Name: name, Capacity: capacity, shard: shard}
 }
 
 // Free returns the unallocated MB.
@@ -44,7 +45,7 @@ func (p *MemPool) Allocate(mb float64) error {
 		return fmt.Errorf("cluster: %s out of memory: want %.0f MB, free %.0f MB", p.Name, mb, p.Free())
 	}
 	p.used += mb
-	p.meter.Set(p.eng.Now(), p.used)
+	p.meter.Set(p.shard.Now(), p.used)
 	return nil
 }
 
@@ -58,7 +59,7 @@ func (p *MemPool) Release(mb float64) {
 	if p.used < 0 {
 		p.used = 0
 	}
-	p.meter.Set(p.eng.Now(), p.used)
+	p.meter.Set(p.shard.Now(), p.used)
 }
 
 // Utilization returns the time-average fraction of capacity allocated.

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+
+	"repro/internal/sim"
 )
 
 // Node is one machine: a CPU pool, a container memory pool, one disk,
@@ -31,6 +33,9 @@ type Node struct {
 	NICOut *Link // transmit direction
 
 	cluster *Cluster
+	// shard is the rack shard owning this node's local resource
+	// domains (CPU, disk, memory meter).
+	shard *sim.Shard
 
 	// down marks a crashed node (see Cluster.KillNode). While down, the
 	// node accepts no new work; its fabrics still exist so that restore
@@ -85,6 +90,9 @@ func (n *Node) DiskUtilization(now float64) float64 { return n.diskLink.Utilizat
 
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Shard returns the rack shard that owns this node's local state.
+func (n *Node) Shard() *sim.Shard { return n.shard }
 
 // CPULoad returns the instantaneous fraction of physical cores busy —
 // the "dynamic cluster utilization information" MRONLINE's monitor

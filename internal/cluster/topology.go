@@ -74,6 +74,14 @@ func HeterogeneousPaperConfig() Config {
 }
 
 // Cluster owns the nodes and the shared network fabric.
+//
+// Shard layout: the cluster creates one engine shard per rack; each
+// node's local resource domains (CPU pool, disk, memory meter) live on
+// its rack's shard, while the shared network fabric and every
+// cross-cutting actor (RM, HDFS namespace, fault injector, monitors)
+// live on the system shard. In the default serial engine this is a pure
+// performance layout — firing order is identical at any shard count —
+// and it is what lets large idle racks cost nothing.
 type Cluster struct {
 	Eng   *sim.Engine
 	Nodes []*Node
@@ -83,6 +91,9 @@ type Cluster struct {
 	// layer (HDFS, YARN, MapReduce) records recovery activity here
 	// through its cluster pointer. All zeros when nothing was injected.
 	Faults *metrics.FaultCounters
+
+	sys        *sim.Shard
+	rackShards []*sim.Shard
 
 	net     *Fabric
 	uplinks []*Link
@@ -102,25 +113,32 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		panic("cluster: config needs at least one rack")
 	}
 	c := &Cluster{Eng: eng, cfg: cfg, Faults: &metrics.FaultCounters{}}
-	c.net = NewFabric(eng, "network")
+	c.sys = eng.SystemShard()
+	c.net = NewFabric(c.sys, "network")
 	racks := len(cfg.RackSizes)
 	c.Racks = make([][]*Node, racks)
+	c.rackShards = make([]*sim.Shard, racks)
+	for r := 0; r < racks; r++ {
+		c.rackShards[r] = eng.NewShard(fmt.Sprintf("rack%02d", r))
+	}
 
 	addNode := func(rack int, cores float64, vcores int, memMB, diskMBps, nicMBps float64) {
 		id := len(c.Nodes)
 		name := fmt.Sprintf("node%02d", id)
+		rs := c.rackShards[rack]
 		n := &Node{
 			ID:      id,
 			Name:    name,
 			Rack:    rack,
 			Cores:   cores,
 			VCores:  vcores,
-			Mem:     NewMemPool(eng, name+"/mem", memMB),
+			Mem:     NewMemPool(rs, name+"/mem", memMB),
 			cluster: c,
+			shard:   rs,
 		}
-		n.cpu = NewFabric(eng, name+"/cpu")
+		n.cpu = NewFabric(rs, name+"/cpu")
 		n.cpuLink = n.cpu.AddLink(name+"/cpu", cores)
-		n.disk = NewFabric(eng, name+"/disk")
+		n.disk = NewFabric(rs, name+"/disk")
 		n.diskLink = n.disk.AddLink(name+"/disk", diskMBps)
 		n.NICIn = c.net.AddLink(name+"/nic-in", nicMBps)
 		n.NICOut = c.net.AddLink(name+"/nic-out", nicMBps)
@@ -159,6 +177,13 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 
 // Config returns the configuration the cluster was built with.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// Sys returns the system shard, home of every cross-cutting actor (RM,
+// HDFS namespace, fault injection, monitors, the network fabric).
+func (c *Cluster) Sys() *sim.Shard { return c.sys }
+
+// RackShard returns the engine shard owning rack r's node-local state.
+func (c *Cluster) RackShard(r int) *sim.Shard { return c.rackShards[r] }
 
 // SameRack reports whether two nodes share a rack.
 func (c *Cluster) SameRack(a, b *Node) bool { return a.Rack == b.Rack }

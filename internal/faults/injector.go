@@ -20,7 +20,10 @@ import (
 // workload's own random draws — and a clean run of the same seed is
 // untouched.
 type Injector struct {
-	c    *cluster.Cluster
+	c *cluster.Cluster
+	// sys is the system shard: fault arrival is a cross-cutting actor
+	// (its callbacks touch nodes on any rack through the cluster API).
+	sys  *sim.Shard
 	rec  *trace.Recorder
 	spec Spec
 
@@ -64,7 +67,7 @@ func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec *trace.Recorder) (*
 		}
 	}
 
-	in := &Injector{c: c, rec: rec, spec: spec, meanFailDelay: DefaultMeanFailDelaySecs}
+	in := &Injector{c: c, sys: c.Sys(), rec: rec, spec: spec, meanFailDelay: DefaultMeanFailDelaySecs}
 	if f := spec.TaskAttemptFail; f != nil && f.MeanDelaySecs > 0 {
 		in.meanFailDelay = f.MeanDelaySecs
 	}
@@ -95,7 +98,7 @@ func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec *trace.Recorder) (*
 
 func (in *Injector) armCrash(cr NodeCrash) {
 	n := in.c.Nodes[cr.Node]
-	in.c.Eng.At(cr.At, func() {
+	in.sys.At(cr.At, func() {
 		if n.Down() {
 			return
 		}
@@ -105,7 +108,7 @@ func (in *Injector) armCrash(cr NodeCrash) {
 		if cr.RestartAfter <= 0 {
 			return
 		}
-		in.c.Eng.After(cr.RestartAfter, func() {
+		in.sys.After(cr.RestartAfter, func() {
 			if !n.Down() {
 				return
 			}
@@ -122,7 +125,7 @@ func (in *Injector) armCrash(cr NodeCrash) {
 // would otherwise re-install the other window's scaled capacity.
 func (in *Injector) armSlow(at float64, node int, factor, window float64, cpu bool) {
 	n := in.c.Nodes[node]
-	in.c.Eng.At(at, func() {
+	in.sys.At(at, func() {
 		baseCPU := n.CPUCapacity()
 		baseDisk := n.DiskBandwidth()
 		if cpu {
@@ -132,7 +135,7 @@ func (in *Injector) armSlow(at float64, node int, factor, window float64, cpu bo
 		if window <= 0 {
 			return // degraded for the rest of the run
 		}
-		in.c.Eng.After(window, func() {
+		in.sys.After(window, func() {
 			if cpu {
 				n.SetCPUCapacity(baseCPU)
 			}
@@ -147,13 +150,13 @@ const linkFlapFactor = 1e-3
 
 func (in *Injector) armFlap(l LinkFlap) {
 	n := in.c.Nodes[l.Node]
-	in.c.Eng.At(l.At, func() {
+	in.sys.At(l.At, func() {
 		base := n.NICBandwidth()
 		n.SetNICBandwidth(base * linkFlapFactor)
 		if l.Window <= 0 {
 			return
 		}
-		in.c.Eng.After(l.Window, func() {
+		in.sys.After(l.Window, func() {
 			n.SetNICBandwidth(base)
 		})
 	})

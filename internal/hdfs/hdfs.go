@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/sim"
 )
 
 // Locality classifies a reader's distance from a block replica.
@@ -67,7 +68,11 @@ type FileSystem struct {
 	// mid-transfer.
 	OpRetryDelaySecs float64
 
-	c       *cluster.Cluster
+	c *cluster.Cluster
+	// sys is the system shard: the namenode and every HDFS op state
+	// machine are cross-cutting actors, so all their events carry
+	// system-shard affinity.
+	sys     *sim.Shard
 	rng     *rand.Rand
 	nextID  int
 	writeAt int // round-robin cursor for first-replica placement
@@ -94,6 +99,7 @@ func New(c *cluster.Cluster, rng *rand.Rand) *FileSystem {
 		ReReplicationDelaySecs: 15,
 		OpRetryDelaySecs:       2,
 		c:                      c,
+		sys:                    c.Sys(),
 		rng:                    rng,
 	}
 	c.SubscribeNodeState(fs.onNodeState)
@@ -292,7 +298,7 @@ func (fs *FileSystem) Write(node *cluster.Node, sizeMB float64, done func()) ([]
 	remaining = count
 	if sizeMB == 0 {
 		// Still asynchronous: model a metadata-only commit.
-		fs.c.Eng.After(0, func() {
+		fs.sys.After(0, func() {
 			if done != nil {
 				done()
 			}

@@ -57,7 +57,7 @@ func (op *ReadOp) start() {
 		// one event so a caller assigning OnFail right after StartRead
 		// still hears about a loss detected at start time.
 		op.canceled = true
-		fs.c.Eng.After(0, func() {
+		fs.sys.After(0, func() {
 			if op.OnFail != nil {
 				op.OnFail()
 			}
@@ -117,7 +117,7 @@ func (op *ReadOp) aborted() {
 
 func (op *ReadOp) retry() {
 	op.retrying = true
-	op.fs.c.Eng.After(op.fs.OpRetryDelaySecs, func() {
+	op.fs.sys.After(op.fs.OpRetryDelaySecs, func() {
 		if op.finished || op.canceled {
 			return
 		}
@@ -178,7 +178,7 @@ func (op *WriteOp) start() {
 	}
 	op.left = count
 	if op.sizeMB == 0 {
-		fs.c.Eng.After(0, func() {
+		fs.sys.After(0, func() {
 			if op.finished || op.canceled {
 				return
 			}
@@ -229,7 +229,7 @@ func (op *WriteOp) aborted() {
 	}
 	op.fs.c.Faults.WriteRestarts++
 	op.retrying = true
-	op.fs.c.Eng.After(op.fs.OpRetryDelaySecs, func() {
+	op.fs.sys.After(op.fs.OpRetryDelaySecs, func() {
 		if op.finished || op.canceled {
 			return
 		}

@@ -54,7 +54,7 @@ func (fs *FileSystem) scheduleRepair() {
 		return
 	}
 	fs.repairScheduled = true
-	fs.c.Eng.After(fs.ReReplicationDelaySecs, func() {
+	fs.sys.After(fs.ReReplicationDelaySecs, func() {
 		fs.repairScheduled = false
 		fs.repairSweep()
 	})

@@ -107,6 +107,7 @@ func All() []*Analyzer {
 		ConfigGetLoopAnalyzer,
 		MutexCopyAnalyzer,
 		GoroutineInSimAnalyzer,
+		CrossShardEventAnalyzer,
 		EventClosureCaptureAnalyzer,
 		NondetFlowAnalyzer,
 		MalformedDirectiveAnalyzer,

@@ -174,8 +174,10 @@ func reportMapRangeCall(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, cal
 }
 
 // pathIsSimEngine reports whether the method receiver is the sim
-// package's Engine (matched by import-path suffix so fixtures and the
-// real tree both qualify).
+// package's Engine or a Shard of it (matched by import-path suffix so
+// fixtures and the real tree both qualify). Shards carry the same
+// scheduling API — every determinism rule that watches Engine.At/After
+// must watch Shard.At/After too, or sharded call sites go unlinted.
 func pathIsSimEngine(recvPkg string, sig *types.Signature) bool {
 	if !pathHasSuffix(recvPkg, "internal/sim") {
 		return false
@@ -185,7 +187,11 @@ func pathIsSimEngine(recvPkg string, sig *types.Signature) bool {
 		t = ptr.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Engine"
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Engine" || name == "Shard"
 }
 
 func recvPkgPath(sig *types.Signature) string {

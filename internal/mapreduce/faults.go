@@ -50,7 +50,7 @@ func (j *Job) armAttemptFault(t *Task) {
 		return
 	}
 	att := t.Attempt
-	j.eng.After(delay, func() {
+	j.shard.After(delay, func() {
 		if j.finished || t.killed || t.Attempt != att || t.State != TaskRunning {
 			return
 		}

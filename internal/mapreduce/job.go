@@ -24,6 +24,7 @@ type Job struct {
 	baseSnap mrconf.Snapshot
 	bench    workload.Benchmark
 	eng      *sim.Engine
+	shard    *sim.Shard // system shard: the AM/job state machine is a cross-cutting actor
 	rm       *yarn.ResourceManager
 	fs       *hdfs.FileSystem
 	app      *yarn.App
@@ -75,6 +76,7 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 		spec:      s,
 		bench:     s.Benchmark,
 		eng:       rm.Engine(),
+		shard:     rm.Shard(),
 		rm:        rm,
 		fs:        fs,
 		ctrl:      s.Controller,
@@ -118,7 +120,7 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 
 	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.JobSubmit,
 		Detail: fmt.Sprintf("%d maps, %d reduces", len(j.mapTasks), len(j.reduceTasks))})
-	j.eng.After(0, j.pump)
+	j.shard.After(0, j.pump)
 	j.scheduleSpeculation()
 	return j
 }
@@ -143,6 +145,9 @@ func (j *Job) BaseConfig() mrconf.Config { return j.spec.BaseConfig }
 
 // Engine returns the simulation engine (for controllers).
 func (j *Job) Engine() *sim.Engine { return j.eng }
+
+// Shard returns the shard the job's state machine schedules on.
+func (j *Job) Shard() *sim.Shard { return j.shard }
 
 // CompletedMaps returns the number of finished map tasks.
 func (j *Job) CompletedMaps() int { return j.completedMaps }

@@ -38,7 +38,7 @@ func (j *Job) runMap(t *Task, c *yarn.Container) {
 
 	j.armAttemptFault(t)
 	att := t.Attempt
-	j.eng.After(TaskLaunchOverheadSecs, func() {
+	j.shard.After(TaskLaunchOverheadSecs, func() {
 		if t.Attempt != att {
 			return // the attempt was preempted during launch
 		}
@@ -85,7 +85,7 @@ func (j *Job) mapMain(t *Task) {
 		failAfter := math.Max(2, cpuSecs/coreCap*frac)
 		t.cpuSecs = cpuSecs * frac
 		att := t.Attempt
-		j.eng.After(failAfter, func() {
+		j.shard.After(failAfter, func() {
 			if t.Attempt != att {
 				return // the attempt was already requeued (preempt/node loss)
 			}

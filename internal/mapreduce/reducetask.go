@@ -45,7 +45,7 @@ func (j *Job) runReduce(t *Task, c *yarn.Container) {
 	j.traceTask(t, trace.TaskStart)
 	j.armAttemptFault(t)
 	att := t.Attempt
-	j.eng.After(TaskLaunchOverheadSecs, func() {
+	j.shard.After(TaskLaunchOverheadSecs, func() {
 		if t.Attempt != att {
 			return // the attempt was preempted during launch
 		}
@@ -84,7 +84,7 @@ func (j *Job) reduceMain(t *Task) {
 		frac := heap / heapNeedMB
 		failAfter := math.Max(2, 10*frac)
 		att := t.Attempt
-		j.eng.After(failAfter, func() {
+		j.shard.After(failAfter, func() {
 			if t.Attempt != att {
 				return // the attempt was already requeued (preempt/node loss)
 			}
@@ -169,7 +169,7 @@ func (j *Job) tryFetch(r *reduceRun) {
 			Node: t.container.Node.Name, Detail: "injected"})
 		r.busy = true
 		att := t.Attempt
-		j.eng.After(FetchRetryDelaySecs, func() {
+		j.shard.After(FetchRetryDelaySecs, func() {
 			if j.finished || t.killed || t.Attempt != att {
 				return
 			}

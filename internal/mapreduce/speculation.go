@@ -45,7 +45,7 @@ func (j *Job) scheduleSpeculation() {
 	if cfg == nil {
 		return
 	}
-	j.eng.Tick(cfg.CheckInterval, func() bool {
+	j.shard.Tick(cfg.CheckInterval, func() bool {
 		if j.finished {
 			return false
 		}

@@ -1,0 +1,272 @@
+package sim
+
+// Parallel window execution: an opt-in mode (off by default; see
+// EnableParallelWindows) in which the independent shards of one
+// conservative time-window execute concurrently on a bounded worker
+// pool.
+//
+// The mode trades the serial engine's exact global (time, seq) firing
+// order for within-window parallelism while staying fully
+// deterministic:
+//
+//   - A window is [T, T+L): T the earliest pending event anywhere, L
+//     the configured lookahead. Every shard whose earliest event falls
+//     inside the window drains its own queue, single-threaded, in
+//     local (time, seq) order — the MODEL.md §12 invariant holds
+//     per shard, which is why the no-goroutine-in-sim rule carries
+//     over unchanged for model code.
+//   - A shard's callbacks may only touch that shard's state. The only
+//     cross-shard channel is Send, whose delay must be ≥ L, so no send
+//     can affect the window that issued it — that is what makes the
+//     window conservative.
+//   - Sends are buffered per shard and merged at the window barrier in
+//     (time, source shard ID, send order) order; sequence numbers
+//     within a window are drawn from per-shard interleaved lanes
+//     (base + local·K + idx). Both rules are functions of the schedule
+//     alone, never of goroutine timing, so same-seed parallel runs are
+//     bit-identical to each other at any worker count (workers=1 runs
+//     the identical windowed algorithm inline).
+//
+// Relative to serial mode, only the interleave of *exactly tied*
+// (same-timestamp) events on different shards, and of tied cross-shard
+// sends, can differ — for shard-isolated models the per-shard firing
+// order (and thus all shard state) is identical. The figure pipeline
+// keeps using serial mode, which remains the bit-exact reference.
+//
+// The pool internals below are the one sanctioned use of goroutines
+// inside a simulated package; each primitive carries an audited
+// no-goroutine-in-sim exemption. Model code gets no such exemption:
+// the invariant it must honor is unchanged.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals (MODEL.md "Sharded event engine"): sync is confined to the window barrier, never visible to model code
+	"sync"
+)
+
+// pendingSend is one buffered cross-shard Send awaiting the window
+// barrier.
+type pendingSend struct {
+	dst   *Shard
+	at    float64
+	order uint64 // position in the source shard's outbox
+	fn    func()
+}
+
+type parallelConfig struct {
+	workers   int
+	lookahead float64
+	// active is true while a window is executing; scheduling calls use
+	// it to reject cross-shard At/Reschedule/Cancel that the serial
+	// engine would have tolerated.
+	active bool
+	// ready/sends are coordinator scratch, reused across windows.
+	ready []*Shard
+	sends []pendingSend
+}
+
+// EnableParallelWindows switches the engine to parallel-window
+// execution: within each conservative time-window of length lookahead,
+// shards with pending events run concurrently on a pool of at most
+// workers goroutines (workers <= 1 runs the same windowed algorithm
+// inline, which is bit-identical to any other worker count).
+//
+// Requirements: lookahead must be positive, and model code must be
+// shard-isolated — a callback scheduled on a shard touches only that
+// shard's state and reaches other shards exclusively through Send with
+// delay >= lookahead. The engine enforces the scheduling-API part
+// (cross-shard At/Reschedule/Cancel and short sends panic); the
+// state-isolation part is the model's contract, policed statically by
+// mrlint's cross-shard-event rule and dynamically by running the test
+// suite under -race.
+func (e *Engine) EnableParallelWindows(workers int, lookahead float64) {
+	if lookahead <= 0 || math.IsNaN(lookahead) || math.IsInf(lookahead, 0) {
+		panic(fmt.Sprintf("sim: parallel windows need a positive finite lookahead, got %v", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e.par = &parallelConfig{workers: workers, lookahead: lookahead}
+}
+
+// runParallel is RunUntil in parallel-window mode.
+func (e *Engine) runParallel(t float64) {
+	e.stopped = false
+	p := e.par
+	for len(e.order) > 0 && !e.stopped {
+		T := e.order[0].minAt
+		if T > t {
+			break
+		}
+		end := T + p.lookahead
+
+		// Ready set: every shard whose earliest event is inside the
+		// window, in shard-ID order (deterministic, independent of
+		// index-heap internals).
+		ready := p.ready[:0]
+		for _, s := range e.shards {
+			if s.pos >= 0 && s.minAt < end {
+				ready = append(ready, s)
+			}
+		}
+		p.ready = ready
+
+		K := uint64(len(ready))
+		base := e.seq
+		e.now = T
+		for i, s := range ready {
+			s.inWindow = true
+			s.now = T
+			s.windowEnd = end
+			s.windowBase = base
+			s.windowK = K
+			s.windowIdx = uint64(i)
+			s.localCount = 0
+			s.fired = 0
+			s.stopReq = false
+			s.panicked = nil
+		}
+
+		p.active = true
+		runPool(ready, p.workers, t)
+		p.active = false
+
+		// Barrier: fold per-shard results back into the engine,
+		// deterministically (ready is in shard-ID order).
+		var maxLocal uint64
+		maxNow := T
+		for _, s := range ready {
+			s.inWindow = false
+			if s.localCount > maxLocal {
+				maxLocal = s.localCount
+			}
+			if s.now > maxNow {
+				maxNow = s.now
+			}
+			e.processed += s.fired
+			if s.stopReq {
+				e.stopped = true
+			}
+		}
+		e.seq = base + maxLocal*K
+		e.now = maxNow
+		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway model?)", e.MaxEvents))
+		}
+		for _, s := range ready {
+			if s.panicked != nil {
+				panic(s.panicked)
+			}
+		}
+
+		// Merge buffered cross-shard sends in (time, source shard,
+		// send order) order, assigning post-window sequence numbers.
+		sends := p.sends[:0]
+		for _, s := range ready {
+			sends = append(sends, s.outbox...)
+			s.outbox = s.outbox[:0]
+		}
+		p.sends = sends
+		sort.SliceStable(sends, func(i, j int) bool {
+			return sends[i].at < sends[j].at
+		})
+		for i := range sends {
+			ps := &sends[i]
+			dst := ps.dst
+			ev := dst.take(ps.at, e.seq, ps.fn)
+			e.seq++
+			heap.Push(&dst.pq, ev)
+			ps.dst, ps.fn = nil, nil
+		}
+
+		// Re-sync every shard whose queue the window touched.
+		for _, s := range e.shards {
+			e.syncShard(s)
+		}
+	}
+	if !math.IsInf(t, 1) && t > e.now && !e.stopped {
+		e.now = t
+	}
+}
+
+// runPool executes each ready shard's window drain, on a bounded pool
+// when more than one worker is configured. Shards are independent
+// within a window, so assignment order does not affect results; with
+// workers <= 1 the drains run inline in ready order.
+func runPool(ready []*Shard, workers int, t float64) {
+	if workers <= 1 || len(ready) == 1 {
+		for _, s := range ready {
+			s.drainWindow(t)
+		}
+		return
+	}
+	if workers > len(ready) {
+		workers = len(ready)
+	}
+	//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals: the barrier WaitGroup is invisible to model code
+	var wg sync.WaitGroup
+	//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals: work handoff channel, drained before the barrier releases
+	work := make(chan *Shard, len(ready))
+	for _, s := range ready {
+		//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals: work handoff channel, drained before the barrier releases
+		work <- s
+	}
+	//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals: work handoff channel, drained before the barrier releases
+	close(work)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals: bounded worker pool, joined at the window barrier before any shared state is read
+		go func() {
+			defer wg.Done()
+			//mrlint:ignore no-goroutine-in-sim audited parallel-window pool internals: work handoff channel, drained before the barrier releases
+			for s := range work {
+				s.drainWindow(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drainWindow fires this shard's events with time inside [now,
+// windowEnd) and <= t, in local (time, seq) order. It runs on a pool
+// worker and touches only shard-local state; a callback panic is
+// captured and re-raised deterministically at the barrier.
+func (s *Shard) drainWindow(t float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked = r
+		}
+	}()
+	for len(s.pq) > 0 {
+		ev := s.pq[0]
+		if ev.at >= s.windowEnd || ev.at > t {
+			break
+		}
+		heap.Pop(&s.pq)
+		s.now = ev.at
+		s.fired++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		if len(s.free) < maxFreeEvents {
+			s.free = append(s.free, ev)
+		}
+		if s.stopReq {
+			break
+		}
+	}
+}
+
+// StopShard requests an engine stop from inside a parallel window
+// (Engine.Stop would race). The stop takes effect at the window
+// barrier. Outside a window it is equivalent to Engine.Stop.
+func (s *Shard) StopShard() {
+	if s.inWindow {
+		s.stopReq = true
+		return
+	}
+	s.eng.Stop()
+}

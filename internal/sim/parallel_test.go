@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// buildIsolatedWorkload schedules a shard-isolated workload: per-shard
+// event chains drawing from per-shard RNG streams, talking to other
+// shards only through Send with delay >= the lookahead. Each shard
+// records its own firing log (logs[shard ID]); a shard's log is touched
+// only by that shard's callbacks, which is exactly the isolation
+// contract the parallel mode requires.
+func buildIsolatedWorkload(eng *Engine, seed uint64, shardCount int, lookahead float64) [][]string {
+	src := NewSource(seed)
+	shards := []*Shard{eng.SystemShard()}
+	for len(shards) < shardCount {
+		shards = append(shards, eng.NewShard(fmt.Sprintf("p%02d", len(shards))))
+	}
+	logs := make([][]string, shardCount)
+	for i, sh := range shards {
+		i, sh := i, sh
+		rng := src.Stream(fmt.Sprintf("shard-%d", i))
+		record := func(tag string) {
+			logs[i] = append(logs[i], fmt.Sprintf("%.9f %s", sh.Now(), tag))
+		}
+		var step func(depth int)
+		step = func(depth int) {
+			record(fmt.Sprintf("step%d", depth))
+			if depth >= 8 {
+				return
+			}
+			if rng.Intn(3) == 0 {
+				dst := shards[rng.Intn(shardCount)]
+				delay := lookahead + rng.Float64()
+				d := depth
+				sh.Send(dst, delay, func() {
+					logs[dst.id] = append(logs[dst.id],
+						fmt.Sprintf("%.9f recv%d<-p%02d", dst.Now(), d, i))
+				})
+			}
+			sh.After(0.05+rng.Float64()*0.4, func() { step(depth + 1) })
+		}
+		sh.At(0.1+rng.Float64(), func() { step(0) })
+	}
+	return logs
+}
+
+func runIsolated(seed uint64, shardCount, workers int, lookahead float64) [][]string {
+	eng := NewEngine()
+	logs := buildIsolatedWorkload(eng, seed, shardCount, lookahead)
+	if workers > 0 {
+		eng.EnableParallelWindows(workers, lookahead)
+	}
+	eng.Run()
+	return logs
+}
+
+// TestParallelWindowsDeterministic checks the parallel mode's
+// determinism story end to end: same-seed runs are identical at any
+// worker count (workers=1 runs the same windowed algorithm inline), and
+// for a shard-isolated workload every shard's firing log matches the
+// serial engine's. Run under -race this is also the data-race audit of
+// the pool internals.
+func TestParallelWindowsDeterministic(t *testing.T) {
+	const seed, shards = 7, 9
+	const lookahead = 0.5
+
+	serial := runIsolated(seed, shards, 0, lookahead)
+	inline := runIsolated(seed, shards, 1, lookahead)
+	par8a := runIsolated(seed, shards, 8, lookahead)
+	par8b := runIsolated(seed, shards, 8, lookahead)
+
+	total := 0
+	for _, l := range serial {
+		total += len(l)
+	}
+	if total == 0 {
+		t.Fatal("workload produced no events")
+	}
+	if !reflect.DeepEqual(par8a, par8b) {
+		t.Fatal("two same-seed 8-worker runs diverged")
+	}
+	if !reflect.DeepEqual(inline, par8a) {
+		t.Fatal("workers=1 and workers=8 diverged; window merge depends on goroutine timing")
+	}
+	if !reflect.DeepEqual(serial, inline) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], inline[i]) {
+				t.Fatalf("shard %d log differs between serial and windowed execution:\nserial: %v\nwindow: %v",
+					i, serial[i], inline[i])
+			}
+		}
+	}
+}
+
+// TestParallelShortSendPanics pins the conservative-window guard: a
+// Send whose delay would land inside the issuing window is a lookahead
+// violation and must panic rather than silently break determinism.
+func TestParallelShortSendPanics(t *testing.T) {
+	eng := NewEngine()
+	a := eng.NewShard("a")
+	b := eng.NewShard("b")
+	a.At(1, func() {
+		a.Send(b, 0.01, func() {}) // lookahead is 1.0: too short
+	})
+	eng.EnableParallelWindows(2, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short cross-shard Send inside a window did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+// TestParallelCrossShardAtPanics pins the scheduling-API isolation
+// guard: calling At on a shard that is not inside its own window (from
+// another shard's callback) must panic and point at Send.
+func TestParallelCrossShardAtPanics(t *testing.T) {
+	eng := NewEngine()
+	a := eng.NewShard("a")
+	b := eng.NewShard("b")
+	a.At(1, func() {
+		b.At(5, func() {}) // must be a.Send(b, ...)
+	})
+	eng.EnableParallelWindows(2, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard At during a parallel window did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+// TestParallelCallbackPanicPropagates checks that a panic inside a
+// pooled shard callback surfaces from Run (deterministically, at the
+// window barrier) instead of killing a worker goroutine.
+func TestParallelCallbackPanicPropagates(t *testing.T) {
+	eng := NewEngine()
+	a := eng.NewShard("a")
+	b := eng.NewShard("b")
+	a.At(1, func() { panic("boom") })
+	b.At(1.2, func() {})
+	eng.EnableParallelWindows(4, 2.0)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the callback's panic value", r)
+		}
+	}()
+	eng.Run()
+}
+
+// TestParallelStopShard checks the window-safe stop path: StopShard
+// inside a window stops the engine at the barrier, and Run can resume.
+func TestParallelStopShard(t *testing.T) {
+	eng := NewEngine()
+	a := eng.NewShard("a")
+	fired := 0
+	a.At(1, func() {
+		fired++
+		a.StopShard()
+	})
+	a.At(100, func() { fired++ })
+	eng.EnableParallelWindows(2, 0.5)
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d events before stop, want 1", fired)
+	}
+	eng.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events after resume, want 2", fired)
+	}
+}
+
+// TestParallelInvalidConfig pins the EnableParallelWindows argument
+// checks and the shard-creation freeze.
+func TestParallelInvalidConfig(t *testing.T) {
+	eng := NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero lookahead did not panic")
+			}
+		}()
+		eng.EnableParallelWindows(4, 0)
+	}()
+	eng.EnableParallelWindows(4, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewShard after EnableParallelWindows did not panic")
+			}
+		}()
+		eng.NewShard("late")
+	}()
+}

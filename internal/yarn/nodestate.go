@@ -21,7 +21,7 @@ func (rm *ResourceManager) onNodeState(n *cluster.Node, down bool) {
 		rm.declaredLost[id] = false
 		rm.downEpoch[id]++
 		epoch := rm.downEpoch[id]
-		rm.eng.After(rm.NodeExpirySecs, func() {
+		rm.shard.After(rm.NodeExpirySecs, func() {
 			if rm.nodeDown[id] && rm.downEpoch[id] == epoch && !rm.declaredLost[id] {
 				rm.declareNodeLost(n)
 			}

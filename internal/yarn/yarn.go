@@ -148,6 +148,7 @@ type Scheduler interface {
 // ResourceManager owns cluster capacity and runs the allocation loop.
 type ResourceManager struct {
 	eng   *sim.Engine
+	shard *sim.Shard // system shard: the RM is a cross-cutting actor
 	c     *cluster.Cluster
 	sched Scheduler
 
@@ -220,7 +221,7 @@ type ResourceManager struct {
 // scheduling policy.
 func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *ResourceManager {
 	rm := &ResourceManager{
-		eng: eng, c: c, sched: sched,
+		eng: eng, shard: c.Sys(), c: c, sched: sched,
 		shapeCounts:     make(map[Resource]int),
 		liveByApp:       make(map[*App][]*Container),
 		SchedulingDelay: 0.5,
@@ -260,6 +261,10 @@ func (rm *ResourceManager) Cluster() *cluster.Cluster { return rm.c }
 
 // Engine returns the simulation engine.
 func (rm *ResourceManager) Engine() *sim.Engine { return rm.eng }
+
+// Shard returns the system shard the RM schedules on; the AMs and job
+// state machines it drives share this affinity.
+func (rm *ResourceManager) Shard() *sim.Shard { return rm.shard }
 
 // Submit registers a new application.
 func (rm *ResourceManager) Submit(name string, weight float64) *App {
@@ -389,7 +394,7 @@ func (rm *ResourceManager) kick() {
 		return
 	}
 	rm.assigning = true
-	rm.eng.After(0, func() {
+	rm.shard.After(0, func() {
 		rm.assigning = false
 		rm.assign()
 	})
@@ -517,7 +522,7 @@ func (rm *ResourceManager) scheduleRelaxRetry() {
 		at := earliest
 		rm.retryAt = at
 		rm.retryScheduled++
-		rm.eng.At(at, func() {
+		rm.shard.At(at, func() {
 			if rm.retryAt == at {
 				rm.retryAt = -1
 			}
@@ -593,7 +598,7 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	}
 	rm.shapeCounts[req.Resource]++
 	delay := rm.SchedulingDelay
-	rm.eng.After(delay, func() {
+	rm.shard.After(delay, func() {
 		if cont.released {
 			return // reclaimed by a node-loss declaration in the window
 		}
