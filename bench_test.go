@@ -13,6 +13,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -374,5 +375,49 @@ func BenchmarkAblationWaveSize(b *testing.B) {
 			dur := e.RunOne(bench, tuner.BestConfig(), nil).Duration
 			b.ReportMetric(dur, fmt.Sprintf("m%d_s", m))
 		}
+	}
+}
+
+// BenchmarkStreamDay is the fleet-scale serving acceptance benchmark:
+// one simulated day of mixed-class jobs (Poisson arrivals at 875/hour
+// mean with a ±50% diurnal swing — about 21k jobs) against a shared
+// 10,016-node cluster under fair scheduling, traced into the
+// flat-memory aggregating stats sink. One iteration = the whole day,
+// so the -benchmem figures are day totals: on the optimized serving
+// path (object pools, precompiled configs, flow/block recycling,
+// streaming sinks) allocations stay flat per job rather than growing
+// per event, and the day completes in single-digit wall seconds.
+func BenchmarkStreamDay(b *testing.B) {
+	benchmarkStreamDay(b, false)
+}
+
+// BenchmarkStreamDayLegacy is the A/B "before" leg: the identical day
+// — byte-identical traces and aggregates, asserted by
+// TestStreamLegacyLegIdentical — with every steady-state optimization
+// disabled (no pooling, no precompiled snapshots, no input release,
+// and a grow-forever trace.Recorder retaining all events), restoring
+// the pre-serving-path per-job costs.
+func BenchmarkStreamDayLegacy(b *testing.B) {
+	benchmarkStreamDay(b, true)
+}
+
+func benchmarkStreamDay(b *testing.B, legacy bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := experiments.DefaultStreamSpec(7)
+		spec.Legacy = legacy
+		start := time.Now()
+		res := experiments.RunStream(spec)
+		wall := time.Since(start).Seconds()
+		if res.Completed != res.Jobs || res.Jobs < 20000 {
+			b.Fatalf("stream day: %d submitted, %d completed (want >=20000, equal)", res.Jobs, res.Completed)
+		}
+		if res.SinkEvents != res.Stats.EventCount() {
+			b.Fatalf("sink ingested %d events, result says %d", res.Stats.EventCount(), res.SinkEvents)
+		}
+		b.ReportMetric(float64(res.Jobs), "jobs")
+		b.ReportMetric(float64(res.Jobs)/wall, "jobs/sec")
+		b.ReportMetric(float64(res.Events)/float64(res.Jobs), "events/job")
+		b.ReportMetric(float64(res.RetainedEvents), "retained_events")
 	}
 }

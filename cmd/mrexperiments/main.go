@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/mrconf"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -305,6 +306,29 @@ func stream(env experiments.Env) {
 		r.MeanDefault, r.MeanMronline, 100*r.Improvement())
 	fmt.Printf("makespan:        default %.0fs -> MRONLINE %.0fs\n",
 		r.MakespanDefault, r.MakespanMron)
+
+	header("Extension: continuous serving (1h stream, 10,016 nodes, fair share)")
+	spec := experiments.DefaultStreamSpec(env.Seed)
+	spec.HorizonSecs = 3600
+	fmt.Printf("%-10s %6s %10s %9s %9s %9s\n",
+		"leg", "jobs", "makespan", "mean", "p99~", "max")
+	var defStats *trace.StatsSink
+	for _, leg := range []struct {
+		name  string
+		tuned bool
+	}{{"default", false}, {"MRONLINE", true}} {
+		spec.Tuned = leg.tuned
+		res := experiments.RunStream(spec)
+		all := res.Stats.Overall()
+		fmt.Printf("%-10s %6d %9.0fs %8.1fs %8.1fs %8.1fs\n",
+			leg.name, res.Jobs, res.Makespan, all.MeanDuration(),
+			all.ApproxPercentile(99), all.DurMax)
+		if !leg.tuned {
+			defStats = res.Stats
+		}
+	}
+	fmt.Println("\nper-class latency (default leg):")
+	defStats.WriteSummary(os.Stdout)
 }
 
 func faultRecovery(env experiments.Env) {

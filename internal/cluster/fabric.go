@@ -85,6 +85,7 @@ type Flow struct {
 	posX       []int            // spill positions for flows crossing more links
 	visit      uint64           // recompute epoch this flow was last swept into
 	finished   bool
+	pooled     bool // sitting in the fabric's free list (guards double-recycle)
 	// onAbort, when set, is scheduled (asynchronously) if the flow is
 	// torn down by Fabric.Abort — a fault, not a cancellation by the
 	// flow's owner — so remote consumers can fail over instead of
@@ -149,6 +150,10 @@ type Fabric struct {
 	// activeFlows is the progressive-filling worklist of not-yet-frozen
 	// flows (compacted by swap-removal as flows freeze).
 	activeFlows []*Flow
+	// free is the pool of recycled Flow objects (see Flow.Recycle):
+	// owners that provably hold the last reference hand finished flows
+	// back so a steady stream of Starts stops allocating.
+	free []*Flow
 }
 
 // NewFabric returns an empty fabric bound to the shard that owns its
@@ -168,8 +173,8 @@ func (fb *Fabric) AddLink(name string, capacity float64) *Link {
 		panic(fmt.Sprintf("cluster: link %q must have positive capacity, got %v", name, capacity))
 	}
 	l := &Link{Name: name, Capacity: capacity}
-	l.used.Set(fb.shard.Now(), 0) // anchor utilization accounting at creation
-	fb.links = append(fb.links, l)
+	l.used.Set(fb.shard.Now(), 0)  // anchor utilization accounting at creation
+	fb.links = append(fb.links, l) //mrlint:ignore retained-append one entry per topology link, built once at construction
 	return l
 }
 
@@ -194,10 +199,11 @@ func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow
 			}
 		}
 	}
-	f := &Flow{fabric: fb, links: links, remaining: work, rateCap: rateCap, done: done, index: -1}
 	if work == 0 {
 		// Zero-size work completes immediately (but asynchronously, to
-		// keep callback ordering uniform).
+		// keep callback ordering uniform). These flows never enter the
+		// fabric lists and are not drawn from the pool.
+		f := &Flow{fabric: fb, links: links, remaining: work, rateCap: rateCap, done: done, index: -1}
 		fb.shard.After(0, func() {
 			if !f.finished {
 				f.finished = true
@@ -208,10 +214,22 @@ func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow
 		})
 		return f
 	}
+	f := fb.newFlow()
+	f.links = links
+	f.remaining = work
+	f.rateCap = rateCap
+	f.done = done
+	f.index = -1
 	if n := len(links); n > inlineLinks {
-		f.posX = make([]int, n-inlineLinks)
+		if need := n - inlineLinks; cap(f.posX) >= need {
+			f.posX = f.posX[:need]
+		} else {
+			f.posX = make([]int, need)
+		}
 	}
-	f.onComplete = func() { fb.complete(f) }
+	if f.onComplete == nil {
+		f.onComplete = func() { fb.complete(f) }
+	}
 	f.index = len(fb.flows)
 	fb.flows = append(fb.flows, f)
 	for i, l := range links {
@@ -220,6 +238,55 @@ func (fb *Fabric) Start(links []*Link, work, rateCap float64, done func()) *Flow
 	}
 	fb.recompute(links, f)
 	return f
+}
+
+// newFlow pops a recycled Flow or allocates a fresh one. Pooled flows
+// keep their cached onComplete closure (it captures only the (fabric,
+// flow) pair, which survives recycling) and their posX capacity.
+func (fb *Fabric) newFlow() *Flow {
+	if n := len(fb.free); n > 0 {
+		f := fb.free[n-1]
+		fb.free[n-1] = nil
+		fb.free = fb.free[:n-1]
+		f.pooled = false
+		f.finished = false
+		return f
+	}
+	return &Flow{fabric: fb}
+}
+
+// recycleFlow resets a flow that has fully left the fabric and parks
+// it in the free list. Flows still queued, in flight, or already
+// pooled are left alone, so callers may invoke it unconditionally
+// during teardown.
+func (fb *Fabric) recycleFlow(f *Flow) {
+	if f.pooled || !f.finished || f.index >= 0 || f.ev != nil {
+		return
+	}
+	f.pooled = true
+	f.links = nil
+	f.remaining = 0
+	f.rateCap = 0
+	f.rate = 0
+	f.prevRate = 0
+	f.lastAdvance = 0
+	f.done = nil
+	f.onAbort = nil
+	fb.free = append(fb.free, f)
+}
+
+// Recycle hands a finished flow back to its fabric's free pool for
+// reuse by a future Start. Strict ownership contract: call it only
+// when you hold the last reference — after Recycle the object may be
+// handed to an unrelated Start, so a retained pointer must never be
+// Canceled or inspected again. Unfinished, still-queued, and
+// already-recycled flows are ignored, which makes Recycle safe to
+// call unconditionally when tearing down a completed owner.
+func (f *Flow) Recycle() {
+	if f == nil {
+		return
+	}
+	f.fabric.recycleFlow(f)
 }
 
 // Cancel aborts a flow; done is not called.

@@ -16,7 +16,7 @@ package cluster
 // of the subscribing layers therefore fixes the recovery ordering and
 // keeps same-seed runs reproducible.
 func (c *Cluster) SubscribeNodeState(fn func(n *Node, down bool)) {
-	c.nodeListeners = append(c.nodeListeners, fn)
+	c.nodeListeners = append(c.nodeListeners, fn) //mrlint:ignore retained-append one subscription per layer, registered at construction
 }
 
 // KillNode crashes a node: every in-flight flow on its CPU, disk and

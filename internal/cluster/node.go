@@ -28,6 +28,12 @@ type Node struct {
 	cpuLink  *Link
 	disk     *Fabric
 	diskLink *Link
+	// cpuLinks/diskLinks are persistent one-element link slices shared
+	// by every flow on the node's single-link fabrics. The fabric never
+	// mutates a flow's links slice, so the share is safe and saves one
+	// allocation per Compute/DiskRead/DiskWrite.
+	cpuLinks  []*Link
+	diskLinks []*Link
 
 	NICIn  *Link // receive direction, in the cluster network fabric
 	NICOut *Link // transmit direction
@@ -57,18 +63,18 @@ func (n *Node) Compute(cpuSeconds, maxCores float64, done func()) *Flow {
 	if maxCores <= 0 {
 		panic(fmt.Sprintf("cluster: Compute on %s with non-positive core cap %v", n.Name, maxCores))
 	}
-	return n.cpu.Start([]*Link{n.cpuLink}, cpuSeconds, maxCores, done)
+	return n.cpu.Start(n.cpuLinks, cpuSeconds, maxCores, done)
 }
 
 // DiskRead starts a disk flow of mb megabytes. Reads and writes share
 // the single disk channel, as on the paper's one-SATA-disk nodes.
 func (n *Node) DiskRead(mb float64, done func()) *Flow {
-	return n.disk.Start([]*Link{n.diskLink}, mb, 0, done)
+	return n.disk.Start(n.diskLinks, mb, 0, done)
 }
 
 // DiskWrite starts a disk flow of mb megabytes.
 func (n *Node) DiskWrite(mb float64, done func()) *Flow {
-	return n.disk.Start([]*Link{n.diskLink}, mb, 0, done)
+	return n.disk.Start(n.diskLinks, mb, 0, done)
 }
 
 // CancelFlow aborts a flow previously started on this node's CPU or
@@ -111,13 +117,13 @@ func (n *Node) DiskLoad() float64 {
 // It models interference from co-located services — the cluster hot
 // spots the paper's online tuning reacts to.
 func (n *Node) InjectDiskLoad(rate, duration float64, done func()) *Flow {
-	return n.disk.Start([]*Link{n.diskLink}, rate*duration, rate, done)
+	return n.disk.Start(n.diskLinks, rate*duration, rate, done)
 }
 
 // InjectCPULoad starts a background computation using up to `cores`
 // cores for `duration` seconds.
 func (n *Node) InjectCPULoad(cores, duration float64, done func()) *Flow {
-	return n.cpu.Start([]*Link{n.cpuLink}, cores*duration, cores, done)
+	return n.cpu.Start(n.cpuLinks, cores*duration, cores, done)
 }
 
 // Down reports whether the node is currently crashed.

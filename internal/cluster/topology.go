@@ -140,9 +140,11 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		n.cpuLink = n.cpu.AddLink(name+"/cpu", cores)
 		n.disk = NewFabric(rs, name+"/disk")
 		n.diskLink = n.disk.AddLink(name+"/disk", diskMBps)
+		n.cpuLinks = []*Link{n.cpuLink}
+		n.diskLinks = []*Link{n.diskLink}
 		n.NICIn = c.net.AddLink(name+"/nic-in", nicMBps)
 		n.NICOut = c.net.AddLink(name+"/nic-out", nicMBps)
-		c.Nodes = append(c.Nodes, n)
+		c.Nodes = append(c.Nodes, n) //mrlint:ignore retained-append topology is built once and immutable afterwards
 		c.Racks[rack] = append(c.Racks[rack], n)
 	}
 
@@ -166,7 +168,7 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	}
 	if racks > 1 {
 		for r := 0; r < racks; r++ {
-			c.uplinks = append(c.uplinks, c.net.AddLink(fmt.Sprintf("rack%d/uplink", r), cfg.UplinkMBps))
+			c.uplinks = append(c.uplinks, c.net.AddLink(fmt.Sprintf("rack%d/uplink", r), cfg.UplinkMBps)) //mrlint:ignore retained-append topology is built once and immutable afterwards
 		}
 	}
 	for _, n := range c.Nodes {

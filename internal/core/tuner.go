@@ -73,6 +73,7 @@ type Tuner struct {
 	numReduces int
 	blackBox   bool
 	costW      CostWeights
+	search     SearchParams
 
 	// aggressive state
 	mapSearch    *hillClimb
@@ -165,6 +166,7 @@ func NewTuner(jobName string, numMaps, numReduces int, base mrconf.Config, opts 
 		numReduces:  numReduces,
 		blackBox:    opts.BlackBox,
 		costW:       opts.CostWeights,
+		search:      opts.Search,
 		assignments: make(map[string][]float64),
 	}
 	if t.Strategy == Aggressive {
@@ -178,6 +180,47 @@ func NewTuner(jobName string, numMaps, numReduces int, base mrconf.Config, opts 
 		t.cons.parCopies = base.ParallelCopies()
 	}
 	return t
+}
+
+// Reset re-targets the tuner at a fresh job, reusing the monitor's
+// sample buffers and the tuner's maps instead of allocating new ones —
+// the recycling hook for serving many jobs of the same class with one
+// tuner. The RNG stream continues rather than reseeding, which keeps a
+// same-seed job stream deterministic (the k-th job always sees the
+// same draws). Strategy, black-box mode, and cost weights carry over.
+func (t *Tuner) Reset(jobName string, numMaps, numReduces int, base mrconf.Config) {
+	t.mon.Reset(numMaps, numReduces)
+	t.dc = NewDynamicConfigurator()
+	t.base = base
+	t.jobName = jobName
+	t.numMaps = numMaps
+	t.numReduces = numReduces
+	clear(t.assignments)
+	t.mapWaveBuf = t.mapWaveBuf[:0]
+	t.redWaveBuf = t.redWaveBuf[:0]
+	t.mapWaves, t.redWaves = 0, 0
+	t.mapWSP95, t.redWSP95 = pctCache{}, pctCache{}
+	t.mapWSP80, t.redWSP80 = pctCache{}, pctCache{}
+	if t.Strategy == Aggressive {
+		t.mapSearch = newHillClimb(searchDims(mrconf.ScopeMap, t.blackBox), t.rng, t.search)
+		t.reduceSearch = newHillClimb(searchDims(mrconf.ScopeReduce, t.blackBox), t.rng, t.search)
+		return
+	}
+	t.cons = consState{
+		mapOverrides: clearedMap(t.cons.mapOverrides),
+		redOverrides: clearedMap(t.cons.redOverrides),
+		mapVcores:    base.MapVcores(),
+		redVcores:    base.ReduceVcores(),
+		parCopies:    base.ParallelCopies(),
+	}
+}
+
+func clearedMap(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return map[string]float64{}
+	}
+	clear(m)
+	return m
 }
 
 // Monitor exposes the tuner's monitor (for experiments and tests).

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mrconf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// StreamClass is one entry of the continuous-serving job mix: a
+// benchmark submitted with relative frequency Weight. Class names must
+// not contain '-' after the last path segment, because job names are
+// "<class>-<index>" and trace.DefaultClassify folds them back by
+// stripping the final "-<suffix>".
+type StreamClass struct {
+	Weight int
+	Bench  workload.Benchmark
+}
+
+// DefaultStreamClasses returns the serving mix: the Table 3
+// applications rescaled to the small-job sizes that dominate shared
+// clusters (the full-corpus Table 3 runs are batch jobs; a day of
+// thousands of arrivals is made of their scaled-down siblings), plus
+// Terasort and BBP representatives. Weights sum to 100.
+func DefaultStreamClasses() []StreamClass {
+	return []StreamClass{
+		{Weight: 30, Bench: mustSpec(workload.BenchmarkSpec{
+			Name: "wordcount2g", InputGB: 2, Maps: 16, Reduces: 4,
+			MapCPUPerMB: 0.012, RawMapSelectivity: 1.4, CombinerReduction: 0.2,
+			ReduceSelectivity: 0.3, RecordBytes: 16, SkewCV: 0.2,
+			MapWorkingSetMB: 300, ReduceWorkingSetMB: 250,
+		})},
+		{Weight: 20, Bench: mustSpec(workload.BenchmarkSpec{
+			Name: "invidx2g", InputGB: 2, Maps: 16, Reduces: 4,
+			MapCPUPerMB: 0.02, RawMapSelectivity: 1.2, CombinerReduction: 0.25,
+			ReduceSelectivity: 0.8, RecordBytes: 40, SkewCV: 0.25,
+			MapWorkingSetMB: 350, ReduceWorkingSetMB: 300,
+		})},
+		{Weight: 15, Bench: mustSpec(workload.BenchmarkSpec{
+			Name: "bigram3g", InputGB: 3, Maps: 24, Reduces: 6,
+			MapCPUPerMB: 0.018, RawMapSelectivity: 1.8, CombinerReduction: 0.35,
+			ReduceSelectivity: 0.5, RecordBytes: 25, SkewCV: 0.3,
+			MapWorkingSetMB: 300, ReduceWorkingSetMB: 250,
+		})},
+		{Weight: 20, Bench: mustSpec(workload.BenchmarkSpec{
+			Name: "textsearch1g", InputGB: 1, Maps: 8, Reduces: 2,
+			MapCPUPerMB: 0.08, RawMapSelectivity: 0.2, CombinerReduction: 1,
+			ReduceSelectivity: 0.5, RecordBytes: 100, SkewCV: 0.15,
+			MapWorkingSetMB: 200, ReduceWorkingSetMB: 150,
+		})},
+		{Weight: 10, Bench: workload.Terasort(2, 0, 0)},
+		{Weight: 5, Bench: workload.BBP(25000, 8)},
+	}
+}
+
+// StreamSpec describes a continuous multi-tenant serving run: a
+// Poisson+diurnal arrival stream of mixed job classes against one
+// shared cluster under fair scheduling. The zero value is not usable;
+// start from DefaultStreamSpec.
+type StreamSpec struct {
+	Seed uint64
+
+	// Racks × NodesPerRack worker nodes, each with the paper's node
+	// hardware (8 cores, 28 vcores, 6 GB container memory, one ~90 MB/s
+	// disk, 1 GbE).
+	Racks        int
+	NodesPerRack int
+
+	// Arrival process (see workload.ArrivalSpec): MeanPerHour jobs/hour
+	// on average, day/night modulated by DiurnalAmplitude, stopping at
+	// HorizonSecs. MaxJobs, when positive, caps submissions (later
+	// arrivals are dropped).
+	MeanPerHour      float64
+	DiurnalAmplitude float64
+	HorizonSecs      float64
+	MaxJobs          int
+
+	// Classes is the job mix; nil means DefaultStreamClasses().
+	Classes []StreamClass
+
+	// Tuned attaches a per-job MRONLINE conservative tuner to every
+	// submission (the fast-single-run use case applied fleet-wide).
+	// Tuner objects are recycled across jobs via core.Tuner.Reset.
+	Tuned bool
+
+	// Legacy disables every steady-state optimization — no object pool,
+	// no precompiled config snapshots, no input release, and a
+	// grow-forever trace.Recorder teeing off the stats sink — restoring
+	// the pre-PR per-job costs. It exists for the A/B benchmark; results
+	// are byte-identical to the optimized path, only slower and bigger.
+	Legacy bool
+
+	// Sink, when non-nil, additionally receives every trace event
+	// (tee'd with the internal stats sink).
+	Sink trace.Sink
+}
+
+// DefaultStreamSpec is the flagship workload: a simulated day of
+// ~21k jobs (875/hour mean, ±50% diurnal swing) on a 10,016-node
+// cluster (313 racks × 32 nodes, matching the sharded-engine
+// acceptance benchmark).
+func DefaultStreamSpec(seed uint64) StreamSpec {
+	return StreamSpec{
+		Seed:             seed,
+		Racks:            313,
+		NodesPerRack:     32,
+		MeanPerHour:      875,
+		DiurnalAmplitude: 0.5,
+		HorizonSecs:      86400,
+	}
+}
+
+// StreamResult summarizes one serving run.
+type StreamResult struct {
+	Jobs      int     // jobs submitted
+	Completed int     // jobs finished (== Jobs unless something is wrong)
+	Makespan  float64 // finish time of the last job, seconds
+	MeanDur   float64 // mean job completion latency, seconds
+
+	// Events is the number of simulation events processed; SinkEvents
+	// is the number of trace events the stats sink ingested. Both grow
+	// with the stream while the sink's retained state stays flat.
+	Events     uint64
+	SinkEvents int
+
+	// RetainedEvents is the legacy recorder's length: O(total events)
+	// in Legacy mode, 0 on the optimized path.
+	RetainedEvents int
+
+	// Stats holds the per-class aggregates the run folded into.
+	Stats *trace.StatsSink
+}
+
+// Report renders the deterministic aggregate summary: run totals plus
+// the per-class latency table. Same seed and spec → byte-identical
+// output, which is what the determinism tests pin.
+func (r *StreamResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs=%d completed=%d makespan=%.1fs mean=%.1fs sink_events=%d\n",
+		r.Jobs, r.Completed, r.Makespan, r.MeanDur, r.SinkEvents)
+	r.Stats.WriteSummary(&b)
+	return b.String()
+}
+
+// RunStream executes one continuous-serving run to completion: every
+// arrival inside the horizon is submitted (subject to MaxJobs) and the
+// engine drains until the last job finishes.
+func RunStream(spec StreamSpec) StreamResult {
+	classes := spec.Classes
+	if classes == nil {
+		classes = DefaultStreamClasses()
+	}
+	totalWeight := 0
+	for _, cl := range classes {
+		if cl.Weight <= 0 {
+			panic(fmt.Sprintf("experiments: stream class %s needs positive weight", cl.Bench.Name))
+		}
+		totalWeight += cl.Weight
+	}
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 2_000_000_000
+	sizes := make([]int, spec.Racks)
+	for i := range sizes {
+		sizes[i] = spec.NodesPerRack
+	}
+	c := cluster.New(eng, cluster.Config{
+		RackSizes:      sizes,
+		CoresPerNode:   8,
+		VCoresPerNode:  28,
+		ContainerMemMB: 6 * 1024,
+		DiskMBps:       90,
+		NICMBps:        117,
+		// ~4:1 oversubscribed uplink for a 32-node rack of 1 GbE nodes.
+		UplinkMBps: 1000,
+	})
+	rm := yarn.NewResourceManager(eng, c, yarn.FairScheduler{})
+	src := sim.NewSource(spec.Seed)
+	fs := hdfs.New(c, src.Stream("hdfs"))
+
+	stats := trace.NewStatsSink()
+	var sink trace.Sink = stats
+	var legacyRec *trace.Recorder
+	if spec.Legacy {
+		legacyRec = &trace.Recorder{}
+		sink = trace.Tee(stats, legacyRec)
+	}
+	if spec.Sink != nil {
+		sink = trace.Tee(sink, spec.Sink)
+	}
+
+	base := mrconf.Default()
+	var pool *mapreduce.Pool
+	var pre *mapreduce.PrecompiledConfig
+	if !spec.Legacy {
+		pool = mapreduce.NewPool()
+		pre = mapreduce.Precompile(base)
+	}
+
+	// Tuner recycling: per-class free lists, since Reset keeps the
+	// monitor's report-slice capacity which is sized by task counts.
+	tunerFree := make([][]*core.Tuner, len(classes))
+	getTuner := func(ci int, name string, b workload.Benchmark, seq int) *core.Tuner {
+		if n := len(tunerFree[ci]); n > 0 {
+			tu := tunerFree[ci][n-1]
+			tunerFree[ci][n-1] = nil
+			tunerFree[ci] = tunerFree[ci][:n-1]
+			tu.Reset(name, b.NumMaps, b.NumReduces, base)
+			return tu
+		}
+		return core.NewTuner(name, b.NumMaps, b.NumReduces, base,
+			core.TunerOptions{Strategy: core.Conservative, Seed: spec.Seed + uint64(seq)})
+	}
+
+	classRNG := src.Sub("stream").Stream("classes")
+	pickClass := func() int {
+		w := classRNG.Intn(totalWeight)
+		for i, cl := range classes {
+			w -= cl.Weight
+			if w < 0 {
+				return i
+			}
+		}
+		return len(classes) - 1
+	}
+
+	res := StreamResult{Stats: stats}
+	totalDur := 0.0
+	submit := func(i int, t float64) {
+		if spec.MaxJobs > 0 && res.Jobs >= spec.MaxJobs {
+			return
+		}
+		res.Jobs++
+		ci := pickClass()
+		cl := classes[ci]
+		name := fmt.Sprintf("%s-%05d", cl.Bench.Name, i)
+		var ctrl mapreduce.Controller
+		var tuner *core.Tuner
+		if spec.Tuned {
+			tuner = getTuner(ci, name, cl.Bench, i)
+			ctrl = tuner
+		}
+		mapreduce.Submit(rm, fs, mapreduce.Spec{
+			Name:                 name,
+			Benchmark:            cl.Bench,
+			BaseConfig:           base,
+			Controller:           ctrl,
+			Trace:                sink,
+			Pool:                 pool,
+			Precompiled:          pre,
+			ReleaseInputOnFinish: !spec.Legacy,
+		}, func(rr mapreduce.Result) {
+			res.Completed++
+			totalDur += rr.Duration
+			if now := eng.Now(); now > res.Makespan {
+				res.Makespan = now
+			}
+			if tuner != nil {
+				tunerFree[ci] = append(tunerFree[ci], tuner)
+			}
+		})
+	}
+
+	_, err := workload.ScheduleArrivals(c.Sys(), src.Sub("stream"), workload.ArrivalSpec{
+		MeanPerHour:      spec.MeanPerHour,
+		DiurnalAmplitude: spec.DiurnalAmplitude,
+		Horizon:          spec.HorizonSecs,
+	}, submit)
+	if err != nil {
+		panic(err)
+	}
+	eng.Run()
+	if res.Completed != res.Jobs {
+		panic(fmt.Sprintf("experiments: stream completed %d of %d jobs", res.Completed, res.Jobs))
+	}
+	if res.Jobs > 0 {
+		res.MeanDur = totalDur / float64(res.Jobs)
+	}
+	res.Events = eng.Processed()
+	res.SinkEvents = stats.EventCount()
+	if legacyRec != nil {
+		res.RetainedEvents = legacyRec.Len()
+	}
+	return res
+}

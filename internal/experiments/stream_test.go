@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// smallStreamSpec is the test-scale serving run: a couple of simulated
+// hours of small-job arrivals on a 192-node cluster — big enough to
+// exercise fair-share contention and every job class, small enough for
+// the race detector.
+func smallStreamSpec(seed uint64) StreamSpec {
+	return StreamSpec{
+		Seed:             seed,
+		Racks:            24,
+		NodesPerRack:     8,
+		MeanPerHour:      120,
+		DiurnalAmplitude: 0.5,
+		HorizonSecs:      1800,
+		MaxJobs:          40,
+	}
+}
+
+// TestStreamSameSeedByteIdentical pins the determinism contract of the
+// serving path: two runs of the same spec produce byte-identical
+// aggregate reports (totals, makespan, and the per-class latency
+// table).
+func TestStreamSameSeedByteIdentical(t *testing.T) {
+	a := RunStream(smallStreamSpec(11))
+	b := RunStream(smallStreamSpec(11))
+	if a.Report() != b.Report() {
+		t.Fatalf("same-seed reports differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.Report(), b.Report())
+	}
+	if a.Events != b.Events {
+		t.Fatalf("same-seed event counts differ: %d vs %d", a.Events, b.Events)
+	}
+	c := RunStream(smallStreamSpec(12))
+	if a.Report() == c.Report() {
+		t.Fatal("different seeds produced identical reports; arrivals are not seeded")
+	}
+}
+
+// TestStreamLegacyLegIdentical asserts the A/B contract of the
+// benchmark: the Legacy leg (no pooling, no precompiled snapshots, no
+// input release, grow-forever recorder) reproduces the optimized leg's
+// trace event-for-event — the optimizations change cost, not behavior.
+// The legs differ only in retained memory: the legacy recorder holds
+// every event, the optimized path holds none.
+func TestStreamLegacyLegIdentical(t *testing.T) {
+	var optRec, legRec trace.Recorder
+
+	opt := smallStreamSpec(11)
+	opt.Sink = &optRec
+	a := RunStream(opt)
+
+	leg := smallStreamSpec(11)
+	leg.Legacy = true
+	leg.Sink = &legRec
+	b := RunStream(leg)
+
+	if a.Report() != b.Report() {
+		t.Fatalf("legacy leg report differs:\n--- optimized ---\n%s--- legacy ---\n%s", a.Report(), b.Report())
+	}
+	if !reflect.DeepEqual(optRec.Events(), legRec.Events()) {
+		t.Fatalf("legacy leg trace differs: %d vs %d events", optRec.Len(), legRec.Len())
+	}
+	if a.RetainedEvents != 0 {
+		t.Fatalf("optimized leg retained %d events; want 0", a.RetainedEvents)
+	}
+	if b.RetainedEvents != b.SinkEvents || b.RetainedEvents == 0 {
+		t.Fatalf("legacy leg retained %d of %d events; want all", b.RetainedEvents, b.SinkEvents)
+	}
+}
+
+// TestStreamSoloTraceMatchesInStream runs the same first arrival twice
+// — once as the only job of the stream, once followed by two more —
+// and asserts its per-event trace is byte-identical. Placement
+// contention is excluded by construction: the arrival rate is fixed
+// low enough that job 0 finishes before job 1 arrives, so the cluster,
+// HDFS placement state, and RNG streams it sees are the same in both
+// runs. This is the "a job in the fleet behaves like the job alone"
+// guarantee the pooled/recycled serving path must preserve.
+func TestStreamSoloTraceMatchesInStream(t *testing.T) {
+	run := func(maxJobs int) []trace.Event {
+		var rec trace.Recorder
+		spec := smallStreamSpec(11)
+		spec.MeanPerHour = 6 // mean gap 600s >> job duration
+		spec.HorizonSecs = 3600
+		spec.MaxJobs = maxJobs
+		spec.Sink = &rec
+		res := RunStream(spec)
+		if res.Jobs != maxJobs {
+			t.Fatalf("stream submitted %d jobs, want %d", res.Jobs, maxJobs)
+		}
+		var first string
+		var out []trace.Event
+		for _, e := range rec.Events() {
+			if e.Kind == trace.JobSubmit && first == "" {
+				first = e.Job
+			}
+			if e.Job == first {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+
+	solo := run(1)
+	inStream := run(3)
+	if !reflect.DeepEqual(solo, inStream) {
+		t.Fatalf("first job's trace differs alone (%d events) vs in-stream (%d events)",
+			len(solo), len(inStream))
+	}
+}
+
+// TestStreamSmokeThreeSeeds is the CI serving smoke (run with -race
+// there): a short simulated stream across three seeds, asserting every
+// job completes and that the sink's retained state stays flat — the
+// stats sink ingests every event yet holds only per-class aggregates,
+// and nothing else in the run retains the trace.
+func TestStreamSmokeThreeSeeds(t *testing.T) {
+	for _, seed := range []uint64{3, 5, 7} {
+		res := RunStream(smallStreamSpec(seed))
+		if res.Completed != res.Jobs || res.Jobs == 0 {
+			t.Fatalf("seed %d: %d of %d jobs completed", seed, res.Completed, res.Jobs)
+		}
+		if res.SinkEvents != res.Stats.EventCount() || res.SinkEvents < res.Jobs*4 {
+			t.Fatalf("seed %d: sink saw %d events for %d jobs", seed, res.SinkEvents, res.Jobs)
+		}
+		// Flat memory: retained state is bounded by the class mix, not
+		// the stream length.
+		if n := len(res.Stats.Classes()); n > len(DefaultStreamClasses())+1 {
+			t.Fatalf("seed %d: stats sink retains %d classes", seed, n)
+		}
+		if res.Stats.InFlight() != 0 {
+			t.Fatalf("seed %d: %d jobs still in flight after drain", seed, res.Stats.InFlight())
+		}
+		if res.RetainedEvents != 0 {
+			t.Fatalf("seed %d: optimized path retained %d events", seed, res.RetainedEvents)
+		}
+	}
+}
+
+// TestStreamTunedRuns exercises the fleet-wide per-job MRONLINE leg:
+// tuners attach to every submission, recycle across jobs, and the run
+// still drains deterministically.
+func TestStreamTunedRuns(t *testing.T) {
+	spec := smallStreamSpec(11)
+	spec.Tuned = true
+	a := RunStream(spec)
+	b := RunStream(spec)
+	if a.Completed != a.Jobs || a.Jobs == 0 {
+		t.Fatalf("tuned stream: %d of %d jobs completed", a.Completed, a.Jobs)
+	}
+	if a.Report() != b.Report() {
+		t.Fatalf("tuned stream is not deterministic:\n%s\nvs\n%s", a.Report(), b.Report())
+	}
+}
+
+// TestStreamReportShape sanity-checks the report format the
+// determinism tests pin, so a formatting change fails loudly here
+// rather than silently re-baselining.
+func TestStreamReportShape(t *testing.T) {
+	res := RunStream(smallStreamSpec(11))
+	rep := res.Report()
+	if !strings.HasPrefix(rep, "jobs=") || !strings.Contains(rep, "p99~(s)") {
+		t.Fatalf("unexpected report shape:\n%s", rep)
+	}
+}

@@ -24,7 +24,7 @@ type Injector struct {
 	// sys is the system shard: fault arrival is a cross-cutting actor
 	// (its callbacks touch nodes on any rack through the cluster API).
 	sys  *sim.Shard
-	rec  *trace.Recorder
+	rec  trace.Sink
 	spec Spec
 
 	fetchRNG      *rand.Rand
@@ -37,9 +37,10 @@ type Injector struct {
 const DefaultMeanFailDelaySecs = 5.0
 
 // New validates spec against the cluster and schedules its timed
-// faults on the cluster's engine. rec (which may be nil) receives
-// node_down/node_up events under the pseudo-job "cluster".
-func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec *trace.Recorder) (*Injector, error) {
+// faults on the cluster's engine. rec (any trace.Sink; nil is treated
+// as trace.Discard) receives node_down/node_up events under the
+// pseudo-job "cluster".
+func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec trace.Sink) (*Injector, error) {
 	checkNode := func(what string, i, node int) error {
 		if node >= len(c.Nodes) {
 			return fmt.Errorf("faults: %s[%d]: node %d out of range (cluster has %d)", what, i, node, len(c.Nodes))
@@ -67,6 +68,9 @@ func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec *trace.Recorder) (*
 		}
 	}
 
+	if rec == nil {
+		rec = trace.Discard
+	}
 	in := &Injector{c: c, sys: c.Sys(), rec: rec, spec: spec, meanFailDelay: DefaultMeanFailDelaySecs}
 	if f := spec.TaskAttemptFail; f != nil && f.MeanDelaySecs > 0 {
 		in.meanFailDelay = f.MeanDelaySecs

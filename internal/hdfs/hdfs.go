@@ -41,6 +41,10 @@ type Block struct {
 	Replicas []*cluster.Node
 
 	repairing bool // a re-replication transfer is in flight
+	// regIdx is the block's position in the namenode registry
+	// (FileSystem.blocks), maintained so Remove is O(1) per block; -1
+	// once deregistered.
+	regIdx int
 }
 
 // File is a sequence of blocks.
@@ -84,6 +88,17 @@ type FileSystem struct {
 	// next call, so the backing arrays are safe to reuse.
 	scratchCand []*cluster.Node
 	scratchCold []*cluster.Node
+	// downNodes counts currently-crashed nodes; rackContig records
+	// whether every rack's node IDs form one contiguous run (true for
+	// homogeneous layouts, false for interleaved node classes). Together
+	// they gate placeReplicas' arithmetic fast path, which must only run
+	// when a candidate set can be indexed without scanning.
+	downNodes  int
+	rackContig bool
+	// freeBlocks recycles Block objects (and their Replicas capacity)
+	// from Removed files into new Creates, so a continuous job stream
+	// stops allocating per-block state.
+	freeBlocks []*Block
 }
 
 // New returns a file system over the cluster with the paper's layout:
@@ -101,6 +116,13 @@ func New(c *cluster.Cluster, rng *rand.Rand) *FileSystem {
 		c:                      c,
 		sys:                    c.Sys(),
 		rng:                    rng,
+	}
+	fs.rackContig = true
+	for _, r := range c.Racks {
+		if len(r) == 0 || r[len(r)-1].ID-r[0].ID != len(r)-1 {
+			fs.rackContig = false
+			break
+		}
 	}
 	c.SubscribeNodeState(fs.onNodeState)
 	return fs
@@ -136,17 +158,71 @@ func (fs *FileSystem) CreateWithBlockSize(name string, sizeMB, blockMB float64) 
 			writer = fs.c.Nodes[fs.writeAt%len(fs.c.Nodes)]
 			fs.writeAt++
 		}
-		b := &Block{ID: fs.nextID, SizeMB: size, Replicas: fs.placeReplicas(writer)}
+		var b *Block
+		if n := len(fs.freeBlocks); n > 0 {
+			b = fs.freeBlocks[n-1]
+			fs.freeBlocks[n-1] = nil
+			fs.freeBlocks = fs.freeBlocks[:n-1]
+			*b = Block{Replicas: b.Replicas[:0]}
+		} else {
+			b = &Block{}
+		}
+		b.ID, b.SizeMB, b.regIdx = fs.nextID, size, len(fs.blocks)
+		b.Replicas = fs.placeReplicasInto(writer, b.Replicas[:0])
 		fs.nextID++
 		fs.blocks = append(fs.blocks, b)
-		f.Blocks = append(f.Blocks, b)
+		f.Blocks = append(f.Blocks, b) //mrlint:ignore retained-append bounded by file size; Remove releases the whole File and pools its blocks
 		remaining -= size
 	}
 	return f
 }
 
+// Remove deletes the file's blocks from the namenode registry, so a
+// finished job's input stops costing failure-path scans and the
+// registry stays flat over a continuous job stream. Removing a file
+// twice is a no-op. Remove transfers block ownership back to the
+// filesystem: the blocks are recycled into future Creates, so the
+// caller must be done with them — no reads in flight and no new reads
+// started (the job layer removes a file only after every task that
+// read it has finished).
+func (fs *FileSystem) Remove(f *File) {
+	for _, b := range f.Blocks {
+		i := b.regIdx
+		if i < 0 || i >= len(fs.blocks) || fs.blocks[i] != b {
+			continue
+		}
+		last := len(fs.blocks) - 1
+		fs.blocks[i] = fs.blocks[last]
+		fs.blocks[i].regIdx = i
+		fs.blocks[last] = nil
+		fs.blocks = fs.blocks[:last]
+		b.regIdx = -1
+		// Recycle the block unless a repair transfer still references it
+		// (it would append a replica to a reused object).
+		if !b.repairing {
+			for j := range b.Replicas {
+				b.Replicas[j] = nil
+			}
+			b.Replicas = b.Replicas[:0]
+			fs.freeBlocks = append(fs.freeBlocks, b)
+		}
+	}
+}
+
 func (fs *FileSystem) placeReplicas(first *cluster.Node) []*cluster.Node {
-	replicas := []*cluster.Node{first}
+	return fs.placeReplicasInto(first, nil)
+}
+
+// placeReplicasInto is placeReplicas appending into buf (which must be
+// empty), letting callers with recycled blocks reuse replica-slice
+// capacity.
+func (fs *FileSystem) placeReplicasInto(first *cluster.Node, buf []*cluster.Node) []*cluster.Node {
+	if fs.HotThreshold <= 0 && fs.downNodes == 0 && fs.rackContig {
+		if replicas := fs.placeReplicasFast(first, buf); replicas != nil {
+			return replicas
+		}
+	}
+	replicas := append(buf, first)
 	if fs.Replication >= 2 {
 		if second := fs.randomNode(func(n *cluster.Node) bool {
 			return n.Rack != first.Rack
@@ -164,6 +240,52 @@ func (fs *FileSystem) placeReplicas(first *cluster.Node) []*cluster.Node {
 			if second := fs.randomNode(func(n *cluster.Node) bool { return n != first }); second != nil {
 				replicas = append(replicas, second)
 			}
+		}
+	}
+	return replicas
+}
+
+// placeReplicasFast is placeReplicas without the O(nodes) candidate
+// scans. When no node is down and load-aware selection is off, the
+// candidate set of each randomNode call is a pure function of rack
+// membership, and candidates appear in node-ID order — so with
+// contiguous per-rack ID runs the k-th candidate is index arithmetic.
+// It consumes exactly the same rng.Intn draws (same bounds, same
+// order) as the scan path and picks the same nodes, keeping
+// same-seed runs byte-identical. Returns nil to fall back (single
+// effective rack); the caller guarantees the gate conditions.
+func (fs *FileSystem) placeReplicasFast(first *cluster.Node, buf []*cluster.Node) []*cluster.Node {
+	nodes := fs.c.Nodes
+	rack := fs.c.Racks[first.Rack]
+	offRack := len(nodes) - len(rack)
+	if fs.Replication < 2 {
+		return append(buf, first)
+	}
+	if offRack == 0 {
+		// Every other node shares first's rack: the scan path's
+		// single-rack fallback applies. Let it run.
+		return nil
+	}
+	// Second replica: the k-th node outside first's rack, in ID order.
+	// The rack is one contiguous ID run, so indices below it map
+	// straight through and indices at or past its start skip over it.
+	k := fs.rng.Intn(offRack)
+	if k >= rack[0].ID {
+		k += len(rack)
+	}
+	second := nodes[k]
+	replicas := append(buf, first, second)
+	if fs.Replication >= 3 {
+		// Third replica: a node in second's rack other than second
+		// (first is in a different rack by construction). The scan path
+		// draws only when the candidate set is non-empty.
+		r2 := fs.c.Racks[second.Rack]
+		if len(r2) > 1 {
+			k := fs.rng.Intn(len(r2) - 1)
+			if k >= second.ID-r2[0].ID {
+				k++
+			}
+			replicas = append(replicas, r2[k])
 		}
 	}
 	return replicas

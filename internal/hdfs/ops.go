@@ -89,6 +89,13 @@ func (op *ReadOp) child() {
 	op.left--
 	if op.left == 0 {
 		op.finished = true
+		// Every flow of the wave has completed and the op is their sole
+		// remaining holder (the fabric drops its reference on
+		// completion), so hand them back to their fabrics' pools.
+		for _, f := range op.flows {
+			f.Recycle()
+		}
+		op.flows = op.flows[:0]
 		if op.done != nil {
 			op.done()
 		}
@@ -208,6 +215,12 @@ func (op *WriteOp) child() {
 	op.left--
 	if op.left == 0 {
 		op.finished = true
+		// As in ReadOp.child: the pipeline's flows are all complete and
+		// exclusively ours — recycle before signalling completion.
+		for _, f := range op.flows {
+			f.Recycle()
+		}
+		op.flows = op.flows[:0]
 		if op.done != nil {
 			op.done()
 		}

@@ -12,6 +12,7 @@ import "repro/internal/cluster"
 
 func (fs *FileSystem) onNodeState(n *cluster.Node, down bool) {
 	if !down {
+		fs.downNodes--
 		// A fresh node is a new re-replication target: retry blocks
 		// that previously had no viable destination.
 		if fs.anyUnderReplicated() {
@@ -19,6 +20,7 @@ func (fs *FileSystem) onNodeState(n *cluster.Node, down bool) {
 		}
 		return
 	}
+	fs.downNodes++
 	lost := false
 	for _, b := range fs.blocks {
 		for i, r := range b.Replicas {

@@ -105,6 +105,7 @@ func All() []*Analyzer {
 		FloatMapAccumAnalyzer,
 		ConfKeyAnalyzer,
 		ConfigGetLoopAnalyzer,
+		RetainedAppendAnalyzer,
 		MutexCopyAnalyzer,
 		GoroutineInSimAnalyzer,
 		CrossShardEventAnalyzer,

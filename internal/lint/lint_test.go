@@ -609,6 +609,88 @@ func Sum(c mrconf.Config, n int) float64 {
 			want:  0,
 		},
 
+		// ---- retained-append ----
+		{
+			name: "retainedappend positive grow-only field",
+			rule: "retained-append",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+type Log struct{ entries []string }
+func (l *Log) Add(m string) { l.entries = append(l.entries, m) }
+`,
+			want: 1,
+		},
+		{
+			name: "retainedappend negative truncation reset",
+			rule: "retained-append",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+type Buf struct{ items []int }
+func (b *Buf) Push(v int) { b.items = append(b.items, v) }
+func (b *Buf) Reset()     { b.items = b.items[:0] }
+`,
+			want: 0,
+		},
+		{
+			name: "retainedappend negative append onto truncation",
+			rule: "retained-append",
+			file: "internal/cluster/x.go",
+			src: `package cluster
+type Wave struct{ flows []int }
+func (w *Wave) Start(f, g int) { w.flows = append(w.flows[:0], f, g) }
+func (w *Wave) More(f int)     { w.flows = append(w.flows, f) }
+`,
+			want: 0,
+		},
+		{
+			name: "retainedappend negative whole-struct recycle",
+			rule: "retained-append",
+			file: "internal/mapreduce/x.go",
+			src: `package mapreduce
+type Task struct{ flows []int }
+func (t *Task) Track(f int) { t.flows = append(t.flows, f) }
+func Recycle(t *Task)       { *t = Task{flows: t.flows[:0]} }
+`,
+			want: 0,
+		},
+		{
+			name: "retainedappend negative cold package",
+			rule: "retained-append",
+			file: "internal/report/x.go",
+			src: `package report
+type Doc struct{ lines []string }
+func (d *Doc) Add(m string) { d.lines = append(d.lines, m) }
+`,
+			want: 0,
+		},
+		{
+			name: "retainedappend negative local slice append",
+			rule: "retained-append",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+func Collect(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "retainedappend ignore directive",
+			rule: "retained-append",
+			file: "internal/yarn/x.go",
+			src: `package yarn
+type Log struct{ entries []string }
+func (l *Log) Add(m string) {
+	l.entries = append(l.entries, m) //mrlint:ignore retained-append opt-in retained log for tests
+}
+`,
+			want: 0,
+		},
+
 		// ---- mutex-copy ----
 		{
 			name: "mutexcopy positive parameter",

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RetainedAppendAnalyzer implements the retained-append rule: in the
+// hot simulation packages, a struct field that only ever grows —
+// `x.f = append(x.f, ...)` with no reset, truncation, or whole-struct
+// recycle anywhere in the package — is a memory leak in disguise on
+// the continuous-serving path, where the same objects live for a
+// simulated day of arrivals. The pre-serving-path trace.Recorder was
+// exactly this shape: every event appended, nothing ever released.
+//
+// A field counts as released if the package ever (a) assigns it
+// anything other than a self-append (nil, [:0], make, a fresh slice),
+// (b) self-appends onto a truncation (`x.f = append(x.f[:0], ...)`),
+// or (c) clears the whole struct (`*x = T{...}`), the idiom the object
+// pools use. Deliberate retention — construction-time topology, the
+// opt-in Recorder — carries a reasoned //mrlint:ignore directive.
+var RetainedAppendAnalyzer = &Analyzer{
+	Name: "retained-append",
+	Doc:  "flag struct-field appends with no reset/recycle in hot packages; grow-forever state breaks the flat-memory serving path",
+	Run:  runRetainedAppend,
+}
+
+// retainedAppendHotPkgs are the package-path suffixes whose objects
+// survive across jobs in a serving run (suffix-matched so test
+// fixtures qualify too).
+var retainedAppendHotPkgs = []string{
+	"internal/mapreduce",
+	"internal/yarn",
+	"internal/cluster",
+	"internal/hdfs",
+	"internal/trace",
+}
+
+func runRetainedAppend(p *Pass) {
+	hot := false
+	for _, suffix := range retainedAppendHotPkgs {
+		if pathHasSuffix(p.Pkg.Path(), suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+
+	type fieldState struct {
+		owner    *types.TypeName // named type declaring the field
+		name     string
+		growPos  token.Pos // first grow site
+		grown    bool
+		released bool
+	}
+	fields := make(map[*types.Var]*fieldState)
+	cleared := make(map[*types.TypeName]bool)
+
+	// fieldOf resolves expr to a slice-typed struct field declared in
+	// this package, along with its owning named type.
+	fieldOf := func(expr ast.Expr) (*types.Var, *types.TypeName) {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		s := p.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return nil, nil
+		}
+		f, ok := s.Obj().(*types.Var)
+		if !ok || f.Pkg() != p.Pkg {
+			return nil, nil
+		}
+		if _, isSlice := f.Type().Underlying().(*types.Slice); !isSlice {
+			return nil, nil
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() != p.Pkg {
+			return nil, nil
+		}
+		return f, named.Obj()
+	}
+
+	state := func(f *types.Var, owner *types.TypeName) *fieldState {
+		st, ok := fields[f]
+		if !ok {
+			st = &fieldState{owner: owner, name: f.Name()}
+			fields[f] = st
+		}
+		return st
+	}
+
+	// selfAppend reports whether rhs is append(...) growing exactly the
+	// given field: first argument selects the same field object (a
+	// truncating `append(x.f[:0], ...)` does not count — that releases).
+	selfAppend := func(rhs ast.Expr, f *types.Var) bool {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return false
+		}
+		if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		af, _ := fieldOf(call.Args[0])
+		return af == f
+	}
+
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				// Whole-struct clear: `*x = T{...}` (or any assignment
+				// through a named struct value) rewrites every field —
+				// the pools' recycle idiom.
+				if star, ok := lhs.(*ast.StarExpr); ok {
+					t := p.Info.TypeOf(star)
+					if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == p.Pkg {
+						if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+							cleared[named.Obj()] = true
+						}
+					}
+					continue
+				}
+				f, owner := fieldOf(lhs)
+				if f == nil {
+					continue
+				}
+				st := state(f, owner)
+				var rhs ast.Expr
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				} else if len(as.Rhs) == 1 {
+					rhs = as.Rhs[0]
+				}
+				if rhs != nil && selfAppend(rhs, f) {
+					if !st.grown {
+						st.grown = true
+						st.growPos = as.Pos()
+					}
+				} else {
+					st.released = true
+				}
+			}
+			return true
+		})
+	}
+
+	var flagged []*fieldState
+	for _, st := range fields {
+		if st.grown && !st.released && !cleared[st.owner] {
+			flagged = append(flagged, st)
+		}
+	}
+	sort.Slice(flagged, func(i, j int) bool { return flagged[i].growPos < flagged[j].growPos })
+	for _, st := range flagged {
+		p.Report("retained-append", st.growPos,
+			"%s.%s only ever grows (append with no reset, truncation, or recycle in this package); on the serving path this retains forever — release it or document intended retention with an ignore directive",
+			st.owner.Name(), st.name)
+	}
+}

@@ -1,0 +1,28 @@
+package yarn
+
+// EventLog violates retained-append: its entries only ever grow, so a
+// long serving run retains every event forever.
+type EventLog struct {
+	entries []string
+}
+
+// Log appends without any reset or recycle anywhere in the package.
+func (l *EventLog) Log(msg string) {
+	l.entries = append(l.entries, msg) // want retained-append
+}
+
+// Scratch is the negative control: it also appends to a struct field,
+// but the package truncates it, so the rule must stay quiet.
+type Scratch struct {
+	buf []string
+}
+
+// Push grows the scratch buffer.
+func (s *Scratch) Push(msg string) {
+	s.buf = append(s.buf, msg)
+}
+
+// Reset releases the scratch buffer, keeping capacity.
+func (s *Scratch) Reset() {
+	s.buf = s.buf[:0]
+}

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
@@ -22,13 +23,19 @@ type Job struct {
 	// baseSnap is spec.BaseConfig compiled once at submission; pump
 	// reads window sizes from it on every scheduling pass.
 	baseSnap mrconf.Snapshot
-	bench    workload.Benchmark
-	eng      *sim.Engine
-	shard    *sim.Shard // system shard: the AM/job state machine is a cross-cutting actor
-	rm       *yarn.ResourceManager
-	fs       *hdfs.FileSystem
-	app      *yarn.App
-	ctrl     Controller
+	// baseRepaired is Repair(spec.BaseConfig), computed once so every
+	// task whose controller returns the base config unchanged (the
+	// common case on the serving path) skips the per-task Repair, and
+	// baseRepairedSnap lets setConfig skip the per-task compile too.
+	baseRepaired     mrconf.Config
+	baseRepairedSnap mrconf.Snapshot
+	bench            workload.Benchmark
+	eng              *sim.Engine
+	shard            *sim.Shard // system shard: the AM/job state machine is a cross-cutting actor
+	rm               *yarn.ResourceManager
+	fs               *hdfs.FileSystem
+	app              *yarn.App
+	ctrl             Controller
 
 	inputFile   *hdfs.File
 	mapTasks    []*Task
@@ -58,6 +65,13 @@ type Job struct {
 	failed    bool
 	failErr   error
 	onDone    func(Result)
+
+	// mapSkewRNG/reduceRNG are the job's skew streams. They survive
+	// pool recycling (a math/rand source is ~5 KB) and are re-seeded
+	// per submission via sim.Source.StreamInto, which reproduces
+	// Stream's output exactly.
+	mapSkewRNG *rand.Rand
+	reduceRNG  *rand.Rand
 }
 
 // ReduceHeadroomFraction caps reduce-container memory at this share of
@@ -71,19 +85,30 @@ const ReduceHeadroomFraction = 0.5
 // fires (once) when the job completes or fails.
 func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone func(Result)) *Job {
 	s := spec.withDefaults()
-	j := &Job{
-		Name:      s.Name,
-		spec:      s,
-		bench:     s.Benchmark,
-		eng:       rm.Engine(),
-		shard:     rm.Shard(),
-		rm:        rm,
-		fs:        fs,
-		ctrl:      s.Controller,
-		startTime: rm.Engine().Now(),
-		onDone:    onDone,
+	j := s.Pool.getJob()
+	j.Name = s.Name
+	j.spec = s
+	j.bench = s.Benchmark
+	j.eng = rm.Engine()
+	j.shard = rm.Shard()
+	j.rm = rm
+	j.fs = fs
+	j.ctrl = s.Controller
+	j.startTime = rm.Engine().Now()
+	j.onDone = onDone
+	if pc := s.Precompiled; pc != nil && pc.base.Same(s.BaseConfig) {
+		j.baseSnap = pc.baseSnap
+		j.baseRepaired = pc.repaired
+		j.baseRepairedSnap = pc.repairedSnap
+	} else {
+		j.baseSnap = s.BaseConfig.Snapshot()
+		j.baseRepaired = mrconf.Repair(s.BaseConfig)
+		if j.baseRepaired.Same(s.BaseConfig) {
+			j.baseRepairedSnap = j.baseSnap
+		} else {
+			j.baseRepairedSnap = j.baseRepaired.Snapshot()
+		}
 	}
-	j.baseSnap = s.BaseConfig.Snapshot()
 	j.app = rm.Submit(s.Name, s.Weight)
 	// Node-loss notifications drive map-output re-execution (the AM's
 	// response to reducer fetch failures against a dead host).
@@ -93,16 +118,24 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 	if s.Benchmark.InputSizeMB > 0 {
 		j.inputFile = fs.CreateWithBlockSize(s.Name+"/input", s.Benchmark.InputSizeMB, s.Benchmark.SplitSizeMB())
 	}
-	skews := s.Benchmark.Splits(src.Stream("map-skew"))
+	j.mapSkewRNG = src.StreamInto(j.mapSkewRNG, "map-skew")
+	skews := s.Benchmark.Splits(j.mapSkewRNG)
 	for i := 0; i < s.Benchmark.NumMaps; i++ {
-		t := &Task{Job: j, Type: MapTask, ID: i, Skew: skews[i]}
+		t := s.Pool.getTask()
+		t.Job, t.Type, t.ID, t.Skew = j, MapTask, i, skews[i]
 		if j.inputFile != nil && i < len(j.inputFile.Blocks) {
 			t.Split = j.inputFile.Blocks[i]
 		}
 		j.mapTasks = append(j.mapTasks, t)
 	}
-	rrng := src.Stream("reduce-skew")
-	shares := make([]float64, s.Benchmark.NumReduces)
+	j.reduceRNG = src.StreamInto(j.reduceRNG, "reduce-skew")
+	rrng := j.reduceRNG
+	shares := j.reduceShare
+	if cap(shares) < s.Benchmark.NumReduces {
+		shares = make([]float64, s.Benchmark.NumReduces)
+	} else {
+		shares = shares[:s.Benchmark.NumReduces]
+	}
 	total := 0.0
 	for i := range shares {
 		cv := 0.15
@@ -115,7 +148,9 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 	}
 	j.reduceShare = shares
 	for i := 0; i < s.Benchmark.NumReduces; i++ {
-		j.reduceTasks = append(j.reduceTasks, &Task{Job: j, Type: ReduceTask, ID: i, Skew: shares[i] * float64(s.Benchmark.NumReduces)})
+		t := s.Pool.getTask()
+		t.Job, t.Type, t.ID, t.Skew = j, ReduceTask, i, shares[i]*float64(s.Benchmark.NumReduces)
+		j.reduceTasks = append(j.reduceTasks, t)
 	}
 
 	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.JobSubmit,
@@ -220,9 +255,15 @@ func (j *Job) reduceHeadroomOK(memMB float64) bool {
 }
 
 // taskConfig asks the controller for the attempt's configuration and
-// repairs it against the dependency rules.
+// repairs it against the dependency rules. When the controller hands
+// the base config back untouched (identity-preserved, the default
+// controller's behavior), the repair was already done at submission.
 func (j *Job) taskConfig(t *Task) mrconf.Config {
-	return mrconf.Repair(j.ctrl.TaskConfig(t, j.spec.BaseConfig))
+	cfg := j.ctrl.TaskConfig(t, j.spec.BaseConfig)
+	if cfg.Same(j.spec.BaseConfig) {
+		return j.baseRepaired
+	}
+	return mrconf.Repair(cfg)
 }
 
 func (j *Job) requestContainer(t *Task) {
@@ -243,10 +284,9 @@ func (j *Job) requestContainerWithConfig(t *Task, cfg mrconf.Config) {
 		shape = yarn.Resource{MemMB: t.snap.ReduceMemMB(), VCores: t.snap.ReduceVcores()}
 		j.reduceMemHeld += shape.MemMB
 	}
-	req := &yarn.Request{
-		Resource:       shape,
-		PreferredNodes: prefs,
-		OnAllocate: func(c *yarn.Container) {
+	if t.onAllocCB == nil {
+		t.onAllocCB = func(c *yarn.Container) {
+			j := t.Job
 			t.pendingReq = nil
 			if j.finished || t.killed {
 				j.rm.Release(c)
@@ -257,12 +297,19 @@ func (j *Job) requestContainerWithConfig(t *Task, cfg mrconf.Config) {
 			} else {
 				j.runReduce(t, c)
 			}
-		},
-		OnPreempt:  func(c *yarn.Container) { j.taskPreempted(t) },
-		OnNodeLost: func(c *yarn.Container) { j.taskLostNode(t) },
+		}
+		t.onPreemptCB = func(c *yarn.Container) { t.Job.taskPreempted(t) }
+		t.onNodeLostCB = func(c *yarn.Container) { t.Job.taskLostNode(t) }
 	}
-	t.pendingReq = req
-	j.app.Request(req)
+	t.req = yarn.Request{
+		Resource:       shape,
+		PreferredNodes: prefs,
+		OnAllocate:     t.onAllocCB,
+		OnPreempt:      t.onPreemptCB,
+		OnNodeLost:     t.onNodeLostCB,
+	}
+	t.pendingReq = &t.req
+	j.app.Request(&t.req)
 }
 
 // track registers an attempt's in-flight flows for kill support.
@@ -461,8 +508,23 @@ func (j *Job) finish(err error) {
 	}
 	res.MapCPUUtil, res.MapMemUtil = mc.avg(), mm.avg()
 	res.ReduceCPUUtil, res.ReduceMemUtil = rc.avg(), rmu.avg()
+	if j.spec.ReleaseInputOnFinish && j.inputFile != nil {
+		j.fs.Remove(j.inputFile)
+		j.inputFile = nil
+	}
 	if j.onDone != nil {
 		j.onDone(res)
+	}
+	// With no fault hooks, no speculation, and a clean finish, nothing
+	// scheduled can reach the job or its tasks after this event (every
+	// launch/OOM/retry closure has provably fired or is permanently
+	// guarded), so the objects are safe to recycle. The recycle is
+	// deferred one zero-delay event so callers still on the stack
+	// (mapFinish's reducer wake-up, onDone itself) never see a reset
+	// job. A failed job may still have attempts in flight and is never
+	// recycled. See Pool.
+	if p := j.spec.Pool; p != nil && !j.failed && j.spec.Faults == nil && j.spec.Speculation == nil {
+		j.shard.After(0, func() { p.recycleJob(j) })
 	}
 }
 

@@ -1,0 +1,41 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/mrconf"
+)
+
+// TestPooledAttemptReuseZeroAlloc pins the steady-state cost of the
+// attempt pool: once warm, a get/recycle round trip reuses the Task
+// object and its tracking slices without touching the heap.
+func TestPooledAttemptReuseZeroAlloc(t *testing.T) {
+	p := NewPool()
+	// Warm the free list so the measured runs only pop and push.
+	tk := p.getTask()
+	p.recycleTask(tk)
+	if avg := testing.AllocsPerRun(100, func() {
+		tk := p.getTask()
+		p.recycleTask(tk)
+	}); avg != 0 {
+		t.Fatalf("pooled attempt round trip allocates %v per run; want 0", avg)
+	}
+}
+
+// TestSnapshotCacheHitZeroAlloc pins the per-attempt config cost on
+// the serving path: installing the job's repaired base configuration
+// reuses the snapshot compiled at submission instead of recompiling.
+func TestSnapshotCacheHitZeroAlloc(t *testing.T) {
+	cfg := mrconf.Default()
+	j := &Job{baseRepaired: cfg, baseRepairedSnap: cfg.Snapshot()}
+	tk := &Task{Job: j}
+	tk.setConfig(cfg)
+	if tk.snap != j.baseRepairedSnap {
+		t.Fatal("setConfig on the repaired base did not reuse the submission snapshot")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		tk.setConfig(cfg)
+	}); avg != 0 {
+		t.Fatalf("snapshot cache hit allocates %v per run; want 0", avg)
+	}
+}

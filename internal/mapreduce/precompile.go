@@ -1,0 +1,33 @@
+package mapreduce
+
+import "repro/internal/mrconf"
+
+// PrecompiledConfig carries a base configuration's compiled artifacts
+// — its snapshot, its repaired form, and the repaired snapshot — so
+// that repeat submissions of the same job class skip the per-job
+// Snapshot and Repair work. Build one with Precompile and cache it per
+// (application, input scale); attach via Spec.Precompiled.
+type PrecompiledConfig struct {
+	base         mrconf.Config
+	baseSnap     mrconf.Snapshot
+	repaired     mrconf.Config
+	repairedSnap mrconf.Snapshot
+}
+
+// Precompile compiles cfg once for reuse across submissions.
+func Precompile(cfg mrconf.Config) *PrecompiledConfig {
+	pc := &PrecompiledConfig{
+		base:     cfg,
+		baseSnap: cfg.Snapshot(),
+		repaired: mrconf.Repair(cfg),
+	}
+	if pc.repaired.Same(cfg) {
+		pc.repairedSnap = pc.baseSnap
+	} else {
+		pc.repairedSnap = pc.repaired.Snapshot()
+	}
+	return pc
+}
+
+// Base returns the configuration this precompile was built from.
+func (pc *PrecompiledConfig) Base() mrconf.Config { return pc.base }

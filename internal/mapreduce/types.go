@@ -80,6 +80,15 @@ type Task struct {
 
 	container  *yarn.Container
 	pendingReq *yarn.Request
+	// req is the task's container request storage, re-populated per
+	// attempt so requesting a container does not allocate. The cached
+	// callbacks capture only the Task and resolve the owning Job at
+	// call time, which keeps them reusable when the pooled Task is
+	// adopted by a later job.
+	req          yarn.Request
+	onAllocCB    func(*yarn.Container)
+	onPreemptCB  func(*yarn.Container)
+	onNodeLostCB func(*yarn.Container)
 	// liveFlows are the attempt's in-flight resource flows, canceled
 	// when a speculative twin wins.
 	liveFlows []*cluster.Flow
@@ -251,8 +260,11 @@ type Spec struct {
 	SlowstartFraction float64
 	// MaxAttempts per task before the job fails (Hadoop default 4).
 	MaxAttempts int
-	// Trace, when non-nil, records the job's execution timeline.
-	Trace *trace.Recorder
+	// Trace receives the job's execution timeline. Any trace.Sink
+	// works: a *trace.Recorder retains every event, trace.Discard (the
+	// default for nil) drops them, and the streaming/ring/stats sinks
+	// keep memory flat over long job streams.
+	Trace trace.Sink
 	// Speculation enables straggler mitigation when non-nil (see
 	// DefaultSpeculation). Nil matches the paper's experimental setup.
 	Speculation *SpeculationConfig
@@ -260,6 +272,21 @@ type Spec struct {
 	// runtime (see internal/faults). Nil costs nothing: no hooks are
 	// consulted and no extra events or RNG draws occur.
 	Faults FaultHooks
+	// Pool, when non-nil, recycles the job's Job/Task objects after
+	// onDone returns, so a long stream of submissions stops allocating
+	// per-job state. See Pool for the (strict) ownership contract.
+	Pool *Pool
+	// Precompiled, when non-nil, supplies the base configuration's
+	// compiled snapshots so repeat submissions of the same class skip
+	// Snapshot/Repair work. Build one with Precompile; it must have
+	// been built from this Spec's BaseConfig.
+	Precompiled *PrecompiledConfig
+	// ReleaseInputOnFinish deletes the job's HDFS input file from the
+	// namenode when the job completes, keeping block registries flat
+	// over a continuous stream. Leave false for fault experiments:
+	// post-finish re-replication of a finished job's blocks is part of
+	// the modeled behavior there.
+	ReleaseInputOnFinish bool
 }
 
 // FaultHooks is the job-runtime side of fault injection. The injector
@@ -293,6 +320,9 @@ func (s *Spec) withDefaults() Spec {
 	if out.Name == "" {
 		out.Name = out.Benchmark.Name
 	}
+	if out.Trace == nil {
+		out.Trace = trace.Discard
+	}
 	return out
 }
 
@@ -302,8 +332,14 @@ func (t *Task) String() string {
 
 // setConfig installs the attempt's configuration and compiles it once;
 // the task's event handlers read parameters through t.snap afterwards.
+// When the config is the job's repaired base (by identity — the
+// steady-state case), the snapshot compiled at submission is reused.
 func (t *Task) setConfig(cfg mrconf.Config) {
 	t.Config = cfg
+	if j := t.Job; j != nil && cfg.Same(j.baseRepaired) {
+		t.snap = j.baseRepairedSnap
+		return
+	}
 	t.snap = cfg.Snapshot()
 }
 

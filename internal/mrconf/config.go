@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -87,6 +88,27 @@ func (c Config) Equal(other Config) bool {
 		}
 	}
 	return true
+}
+
+// Same reports whether two configs share the identical override set —
+// an O(1) identity check, not a value comparison. It is the fast path
+// behind snapshot caching: With and Repair return their receiver
+// unchanged when nothing changes effectively, so a config that came
+// through a no-op pipeline is Same as the original and its compiled
+// snapshot can be reused. Same never returns a false positive; it may
+// return false for configs that are Equal but built separately (two
+// independently built empty-override maps compare different).
+func (c Config) Same(other Config) bool {
+	if c.overrides == nil || other.overrides == nil {
+		return c.overrides == nil && other.overrides == nil
+	}
+	return mapsShareStorage(c.overrides, other.overrides)
+}
+
+// mapsShareStorage reports whether two non-nil maps are the very same
+// map object. Go has no == on maps; reflect exposes the header pointer.
+func mapsShareStorage(a, b map[string]float64) bool {
+	return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
 }
 
 // Overrides returns the non-default assignments, for reporting. Each

@@ -24,6 +24,23 @@ func (s *Source) Seed() uint64 { return s.seed }
 // Stream returns a deterministic PRNG for the given name. Calling Stream
 // twice with the same name yields streams with identical output.
 func (s *Source) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(s.streamSeed(name)))
+}
+
+// StreamInto re-seeds r to the exact initial state Stream(name) would
+// return, avoiding the ~5 KB source allocation — the path for callers
+// that pool their PRNGs across a stream of jobs. A nil r allocates a
+// fresh stream; either way the returned PRNG's output is identical to
+// Stream(name)'s.
+func (s *Source) StreamInto(r *rand.Rand, name string) *rand.Rand {
+	if r == nil {
+		return s.Stream(name)
+	}
+	r.Seed(s.streamSeed(name))
+	return r
+}
+
+func (s *Source) streamSeed(name string) int64 {
 	h := fnv.New64a()
 	// Mix the seed in first so different seeds fully decorrelate streams.
 	var b [8]byte
@@ -33,7 +50,7 @@ func (s *Source) Stream(name string) *rand.Rand {
 	}
 	_, _ = h.Write(b[:])
 	_, _ = h.Write([]byte(name))
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return int64(h.Sum64())
 }
 
 // Sub derives a child source, useful for giving a subsystem its own

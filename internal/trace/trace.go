@@ -57,7 +57,7 @@ func (r *Recorder) Add(e Event) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, e)
+	r.events = append(r.events, e) //mrlint:ignore retained-append Recorder is the opt-in retained sink; serving paths use StatsSink/RingSink
 }
 
 // Events returns a copy of the recorded events in insertion order

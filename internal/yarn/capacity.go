@@ -54,7 +54,7 @@ func NewCapacityScheduler(queues []Queue) *CapacityScheduler {
 			panic(fmt.Sprintf("yarn: queue %q max capacity below guarantee", q.Name))
 		}
 		total += q.Capacity
-		s.queues = append(s.queues, &q)
+		s.queues = append(s.queues, &q) //mrlint:ignore retained-append one entry per configured queue, fixed at construction
 		s.byName[q.Name] = &q
 		if q.Name == "default" {
 			hasDefault = true

@@ -158,6 +158,7 @@ type ResourceManager struct {
 	nextReqSeq  int
 	assignCur   int // round-robin node cursor
 	assigning   bool
+	kickFn      func()           // cached kick callback (one closure per RM, not per kick)
 	shapeCounts map[Resource]int // the §4 "hash map" of container shapes
 	// shapeOrder records first-allocation order of distinct shapes so
 	// EachShape iterates deterministically.
@@ -177,6 +178,18 @@ type ResourceManager struct {
 	// counts pending requests so assign can skip empty passes.
 	pendingShapes []shapeCount
 	totalPending  int
+	// Placement-possibility index for assign's node skip: prefNode[id]
+	// counts pending requests that prefer node id, prefRack[r] counts
+	// pending requests with at least one preference in rack r (one per
+	// preferred node, so decrements mirror increments without dedup),
+	// and unconstrained counts pending requests with no preference.
+	// While every constrained request is still inside its delay-
+	// scheduling window, a node with no preference pointing at it (or
+	// at its rack, once rack-eligible) cannot receive a placement, and
+	// the sweep skips it without consulting the scheduler.
+	prefNode      []int
+	prefRack      []int
+	unconstrained int
 	// retryAt is the expiry of the latest scheduled relax-retry wakeup
 	// (-1 when none); duplicate wakeups at the same instant coalesce.
 	retryAt        float64
@@ -252,6 +265,12 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *R
 	rm.downEpoch = make([]uint64, n)
 	rm.blacklisted = make([]bool, n)
 	rm.nodeFailures = make([]int, n)
+	rm.prefNode = make([]int, n)
+	rm.prefRack = make([]int, len(c.Racks))
+	rm.kickFn = func() {
+		rm.assigning = false
+		rm.assign()
+	}
 	c.SubscribeNodeState(rm.onNodeState)
 	return rm
 }
@@ -287,9 +306,14 @@ func (a *App) Finish() {
 	for _, req := range a.pending {
 		a.rm.pendingShapes = removeShape(a.rm.pendingShapes, req.Resource)
 		a.rm.totalPending--
+		a.rm.indexRequest(req, -1)
 	}
 	a.pending = nil
 	a.pendingShapes = nil
+	// All containers were released before Finish (precondition above),
+	// so the live list is empty — drop the map entry so a long stream of
+	// finished apps does not grow liveByApp forever.
+	delete(a.rm.liveByApp, a)
 	apps := a.rm.apps[:0]
 	for _, app := range a.rm.apps {
 		if app != a {
@@ -317,6 +341,7 @@ func (a *App) Request(req *Request) {
 	a.pendingShapes = addShape(a.pendingShapes, req.Resource)
 	a.rm.pendingShapes = addShape(a.rm.pendingShapes, req.Resource)
 	a.rm.totalPending++
+	a.rm.indexRequest(req, 1)
 	a.rm.kick()
 }
 
@@ -331,6 +356,7 @@ func (a *App) CancelRequest(req *Request) bool {
 			a.pendingShapes = removeShape(a.pendingShapes, req.Resource)
 			a.rm.pendingShapes = removeShape(a.rm.pendingShapes, req.Resource)
 			a.rm.totalPending--
+			a.rm.indexRequest(req, -1)
 			return true
 		}
 	}
@@ -394,10 +420,35 @@ func (rm *ResourceManager) kick() {
 		return
 	}
 	rm.assigning = true
-	rm.shard.After(0, func() {
-		rm.assigning = false
-		rm.assign()
-	})
+	rm.shard.After(0, rm.kickFn)
+}
+
+// indexRequest adds (delta=+1) or removes (delta=-1) one pending
+// request from the placement-possibility index.
+func (rm *ResourceManager) indexRequest(req *Request, delta int) {
+	if len(req.PreferredNodes) == 0 {
+		rm.unconstrained += delta
+		return
+	}
+	for _, n := range req.PreferredNodes {
+		rm.prefNode[n.ID] += delta
+		rm.prefRack[n.Rack] += delta
+	}
+}
+
+// oldestConstrainedEnqueue returns the enqueue time of the oldest
+// pending request that has node preferences, or -1 when none is
+// pending. O(total pending), called once per assignment pass.
+func (rm *ResourceManager) oldestConstrainedEnqueue() float64 {
+	oldest := -1.0
+	for _, app := range rm.apps {
+		for _, req := range app.pending {
+			if len(req.PreferredNodes) > 0 && (oldest < 0 || req.enqueued < oldest) {
+				oldest = req.enqueued
+			}
+		}
+	}
+	return oldest
 }
 
 // fits reports whether a request shape fits node's free capacity.
@@ -441,13 +492,41 @@ func (rm *ResourceManager) assign() {
 	// blacklist rather than starve (the AM node-blacklisting ignore
 	// threshold, 33% in Hadoop).
 	ignoreBlacklist := rm.blackCount*3 >= n
+	// Delay-scheduling eligibility for the whole pass: while no
+	// unconstrained request is pending and every constrained request is
+	// younger than the rack (resp. off-rack) threshold, only preferred
+	// nodes (resp. their racks) can receive a placement. assign runs at
+	// one instant and placements only remove requests, so computing
+	// this once up front errs, if at all, toward scanning a node the
+	// sweep could have skipped — never toward skipping a placeable one.
+	now := rm.eng.Now()
+	oldest := rm.oldestConstrainedEnqueue()
+	rackEligible := oldest >= 0 && now-oldest >= rm.RackDelay
+	offRackEligible := oldest >= 0 && now-oldest >= rm.OffRackDelay
 	pass := func(useFilter bool, minAge float64) {
 		progress := true
 		for progress {
 			progress = false
 			for i := 0; i < n; i++ {
+				if rm.totalPending == 0 {
+					// The last placement drained the pending set; the rest
+					// of the sweep cannot place anything. Bailing here is
+					// behavior-identical (anyPendingFits would reject every
+					// remaining node, and the cursor rotates after the loop
+					// either way) but turns the common one-request case on
+					// a 10k-node cluster from O(nodes) into O(1).
+					break
+				}
 				node := rm.c.Nodes[(rm.assignCur+i)%n]
 				if rm.nodeDown[node.ID] || (rm.blacklisted[node.ID] && !ignoreBlacklist) {
+					continue
+				}
+				if rm.unconstrained == 0 && !offRackEligible &&
+					rm.prefNode[node.ID] == 0 &&
+					(!rackEligible || rm.prefRack[node.Rack] == 0) {
+					// No request may place here: selectRequest would
+					// return nil for every app the scheduler could pick,
+					// and neither Pick nor selectRequest has side effects.
 					continue
 				}
 				if useFilter && rm.NodeFilter != nil && !rm.NodeFilter(node) {
@@ -594,10 +673,15 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	app.usedVC += req.Resource.VCores
 	app.running++
 	if rm.shapeCounts[req.Resource] == 0 {
-		rm.shapeOrder = append(rm.shapeOrder, req.Resource)
+		rm.shapeOrder = append(rm.shapeOrder, req.Resource) //mrlint:ignore retained-append bounded by distinct container shapes ever seen (a handful)
 	}
 	rm.shapeCounts[req.Resource]++
 	delay := rm.SchedulingDelay
+	// Copy the callback out of the request: once the request leaves the
+	// pending list the caller may reuse the object (the mapreduce AM
+	// embeds it in the task and re-populates it per attempt), so the
+	// deferred launch must not read through req.
+	onAllocate := req.OnAllocate
 	rm.shard.After(delay, func() {
 		if cont.released {
 			return // reclaimed by a node-loss declaration in the window
@@ -609,8 +693,8 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 			rm.reclaimLost(cont)
 			return
 		}
-		if req.OnAllocate != nil {
-			req.OnAllocate(cont)
+		if onAllocate != nil {
+			onAllocate(cont)
 		}
 	})
 }
