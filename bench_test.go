@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mrconf"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
@@ -399,6 +400,34 @@ func BenchmarkStreamDay(b *testing.B) {
 // the pre-serving-path per-job costs.
 func BenchmarkStreamDayLegacy(b *testing.B) {
 	benchmarkStreamDay(b, true)
+}
+
+// BenchmarkTunerBackends races the optimizer backends through one
+// aggressive expedited test run each on a full-size Table 3 app, then
+// re-runs the recommendation standalone. The metrics mirror the
+// tournament's clean leg: search evaluations and waves spent, the
+// test-run overhead, and the tuned job time it bought.
+func BenchmarkTunerBackends(b *testing.B) {
+	app, err := workload.ByName("wordcount/Wikipedia")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range tuner.Backends() {
+		b.Run(backend, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := experiments.Env{Seed: 42, Backend: backend}
+				tn, test := e.AggressiveTestRun(app)
+				tuned := e.RunOne(app, tn.BestConfig(), nil)
+				mt, rt := tn.Trajectories()
+				mw, rw := tn.TestWaves()
+				b.ReportMetric(test.Duration, "test_run_s")
+				b.ReportMetric(tuned.Duration, "tuned_s")
+				b.ReportMetric(float64(len(mt)+len(rt)), "evals")
+				b.ReportMetric(float64(mw+rw), "waves")
+			}
+		})
+	}
 }
 
 func benchmarkStreamDay(b *testing.B, legacy bool) {

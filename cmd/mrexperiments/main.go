@@ -8,12 +8,14 @@
 //
 // Artifacts: table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 testruns hotspot straggler
-// amortization stream
+// amortization stream faults tournament
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mrconf"
 	"repro/internal/trace"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
@@ -34,8 +37,15 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		faultSpec  = flag.String("faults", "", "inject faults from this JSON spec into every run (see examples/faults/)")
+		tunerName  = flag.String("tuner", "hill", "optimizer backend for aggressive tuning runs: "+strings.Join(tuner.Backends(), "|"))
+		warmStart  = flag.String("warmstart", "", "warm-start store JSON file: load search state per job class before running, save after")
 	)
 	flag.Parse()
+
+	if err := validBackend(*tunerName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -66,7 +76,28 @@ func main() {
 		}()
 	}
 
-	env := experiments.Env{Seed: *seed}
+	env := experiments.Env{Seed: *seed, Backend: *tunerName}
+	var store *tuner.Store
+	if *warmStart != "" {
+		if s, err := tuner.LoadStore(*warmStart); err == nil {
+			store = s
+		} else if errors.Is(err, fs.ErrNotExist) {
+			store = tuner.NewStore()
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		env.WarmStore = store
+	}
+	saveStore := func() {
+		if store == nil {
+			return
+		}
+		if err := store.Save(*warmStart); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *faultSpec != "" {
 		fspec, err := faults.Load(*faultSpec)
 		if err != nil {
@@ -90,13 +121,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *htmlPath)
+		saveStore()
 		return
 	}
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
 		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "testruns",
-			"hotspot", "straggler", "amortization", "stream", "faults"}
+			"hotspot", "straggler", "amortization", "stream", "faults", "tournament"}
 	}
 
 	// Expedited results back Figs 4-9; compute each set once.
@@ -168,11 +200,26 @@ func main() {
 			stream(env)
 		case "faults":
 			faultRecovery(env)
+		case "tournament":
+			tournament(env)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", id)
 			os.Exit(2)
 		}
 	}
+	saveStore()
+}
+
+// validBackend fails fast on an unknown -tuner value, listing what is
+// actually registered.
+func validBackend(name string) error {
+	for _, b := range tuner.Backends() {
+		if b == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -tuner backend %q (registered: %s)",
+		name, strings.Join(tuner.Backends(), ", "))
 }
 
 func header(title string) {
@@ -340,6 +387,21 @@ func faultRecovery(env experiments.Env) {
 		fmt.Printf("%-18s %8.0fs %7v %8d %8d %8d %8d\n",
 			r.Leg, r.Duration, r.Failed, r.NodeLossKills, r.MapsReExecuted,
 			r.Faults.ContainersLost, r.Faults.BlocksReReplicated)
+	}
+}
+
+func tournament(env experiments.Env) {
+	header("Extension: optimizer backend tournament (Table 3 apps x " +
+		strings.Join(tuner.Backends(), "/") + ", crash churn, warm restart)")
+	rows := env.Tournament(experiments.DefaultTournamentSpec())
+	fmt.Printf("%-26s %-7s %6s %6s %9s %9s %9s %8s | %9s %9s %6s | %5s %5s %9s\n",
+		"benchmark", "backend", "evals", "waves", "test run", "tuned", "cost", "to15%",
+		"churn tst", "churn tun", "failed", "coldW", "warmW", "warm tst")
+	for _, r := range rows {
+		fmt.Printf("%-26s %-7s %6d %6d %8.0fs %8.0fs %9.3f %8d | %8.0fs %8.0fs %6v | %5d %5d %8.0fs\n",
+			r.Bench, r.Backend, r.Evals, r.Waves, r.TestRunDur, r.TunedDur, r.FinalCost,
+			r.TestsTo15, r.ChurnTestDur, r.ChurnTunedDur, r.ChurnFailed,
+			r.ColdWaves, r.WarmWaves, r.WarmDur)
 	}
 }
 

@@ -16,14 +16,20 @@
 //	kb            look up the configuration in the knowledge base file
 //
 // With -kb, aggressive runs store their best configuration for later
-// kb-strategy runs.
+// kb-strategy runs. -tuner selects the search backend the aggressive
+// test run uses (hill, spsa, or tpe), and -warmstart points at a
+// search-state store JSON file: aggressive runs consult it for a warm
+// start keyed by (app, input scale) and write their outcome back.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 
@@ -34,6 +40,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/mrconf"
 	"repro/internal/trace"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
@@ -53,8 +60,16 @@ func main() {
 		compare   = flag.Bool("compare", false, "run default, offline, conservative and aggressive and print a comparison")
 		explain   = flag.Bool("explain", false, "print what the tuner learned (conservative/aggressive strategies)")
 		counters  = flag.Bool("counters", false, "print the full job counter summary")
+		tunerName = flag.String("tuner", "hill", "optimizer backend for aggressive runs: "+strings.Join(tuner.Backends(), "|"))
+		warmStart = flag.String("warmstart", "", "warm-start store JSON file (read before aggressive runs, written after)")
 	)
 	flag.Parse()
+
+	if !slices.Contains(tuner.Backends(), *tunerName) {
+		fmt.Fprintf(os.Stderr, "unknown -tuner backend %q (registered: %s)\n",
+			*tunerName, strings.Join(tuner.Backends(), ", "))
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, b := range workload.Suite() {
@@ -76,7 +91,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	env := experiments.Env{Seed: *seed}
+	env := experiments.Env{Seed: *seed, Backend: *tunerName}
+	var store *tuner.Store
+	if *warmStart != "" {
+		if s, err := tuner.LoadStore(*warmStart); err == nil {
+			store = s
+		} else if errors.Is(err, fs.ErrNotExist) {
+			store = tuner.NewStore()
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		env.WarmStore = store
+	}
+	saveStore := func() {
+		if store == nil {
+			return
+		}
+		if err := store.Save(*warmStart); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *faultSpec != "" {
 		fspec, err := faults.Load(*faultSpec)
 		if err != nil {
@@ -88,6 +124,7 @@ func main() {
 
 	if *compare {
 		compareStrategies(env, b, *kbPath)
+		saveStore()
 		return
 	}
 	var rec *trace.Recorder
@@ -95,6 +132,7 @@ func main() {
 		rec = &trace.Recorder{}
 	}
 	report := runStrategy(env, b, *strategy, *kbPath, rec, *speculate)
+	saveStore()
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mapreduce"
 	"repro/internal/mrconf"
+	"repro/internal/tuner"
 )
 
 // Explain renders what the tuner learned and why its recommendation
@@ -42,12 +43,12 @@ func (t *Tuner) Explain() string {
 
 	if t.Strategy == Aggressive {
 		fmt.Fprintf(&b, "search: map scope %s (%d waves), reduce scope %s (%d waves)\n",
-			searchStateString(t.mapSearch), t.mapWaves,
-			searchStateString(t.reduceSearch), t.redWaves)
+			searchStateString(t.mapS.opt), t.mapS.waves,
+			searchStateString(t.redS.opt), t.redS.waves)
 		scopes := []struct {
 			name   string
-			search *hillClimb
-		}{{"map", t.mapSearch}, {"reduce", t.reduceSearch}}
+			search tuner.Optimizer
+		}{{"map", t.mapS.opt}, {"reduce", t.redS.opt}}
 		for _, sc := range scopes {
 			if _, cost, ok := sc.search.Best(); ok {
 				fmt.Fprintf(&b, "  best %s-scope point: Eq.1 cost %.3f\n", sc.name, cost)
@@ -66,12 +67,12 @@ func (t *Tuner) Explain() string {
 	return b.String()
 }
 
-func searchStateString(h *hillClimb) string {
-	if h == nil {
+func searchStateString(opt tuner.Optimizer) string {
+	if opt == nil {
 		return "off"
 	}
-	if h.Done() {
+	if opt.Done() {
 		return "converged"
 	}
-	return fmt.Sprintf("in %s phase", h.phase)
+	return fmt.Sprintf("in %s phase", opt.State())
 }

@@ -140,8 +140,8 @@ func TestTunerAccessors(t *testing.T) {
 	if tn.Monitor() == nil || tn.Configurator() == nil {
 		t.Fatal("nil accessors")
 	}
-	if phaseGlobal.String() != "global" || phaseLocal.String() != "local" || phaseDone.String() != "done" {
-		t.Fatal("phase strings broken")
+	if got := tn.Backend(); got != "hill" {
+		t.Fatalf("default backend = %q, want hill", got)
 	}
 }
 

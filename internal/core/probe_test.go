@@ -44,7 +44,7 @@ func TestProbeTunerEffect(t *testing.T) {
 	tuner := NewTuner(b.Name, b.NumMaps, b.NumReduces, mrconf.Default(), TunerOptions{Strategy: Aggressive, Seed: 7})
 	test := runJob(t, b, mrconf.Default(), tuner)
 	t.Logf("test run:     dur=%6.0fs searchDone=%v mapWaves=%d redWaves=%d failed=%v\n",
-		test.Duration, tuner.SearchDone(), tuner.mapWaves, tuner.redWaves, test.Failed)
+		test.Duration, tuner.SearchDone(), tuner.mapS.waves, tuner.redS.waves, test.Failed)
 	best := tuner.BestConfig()
 	t.Logf("best config:  %s\n", best)
 	tuned := runJob(t, b, best, nil)

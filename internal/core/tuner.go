@@ -8,6 +8,8 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
 	"repro/internal/mrconf"
+	"repro/internal/sim"
+	"repro/internal/tuner"
 )
 
 // Strategy selects between the paper's two use cases (§2.3).
@@ -74,15 +76,18 @@ type Tuner struct {
 	blackBox   bool
 	costW      CostWeights
 	search     SearchParams
+	backend    string
+
+	// Per-scope optimizer RNGs. For the hill backend both point at the
+	// legacy shared stream (t.rng); for other backends each scope gets
+	// its own sim.Source sub-stream.
+	mapRNG *rand.Rand
+	redRNG *rand.Rand
 
 	// aggressive state
-	mapSearch    *hillClimb
-	reduceSearch *hillClimb
-	assignments  map[string][]float64 // taskID -> sampled point
-	mapWaveBuf   []mapreduce.TaskReport
-	redWaveBuf   []mapreduce.TaskReport
-	mapWaves     int
-	redWaves     int
+	mapS        scopeSearch
+	redS        scopeSearch
+	assignments map[string][]float64 // taskID -> sampled point
 
 	// conservative state
 	cons consState
@@ -92,6 +97,19 @@ type Tuner struct {
 	// samples are append-only.
 	mapWSP95, redWSP95 pctCache
 	mapWSP80, redWSP80 pctCache
+}
+
+// scopeSearch is one scope's (map or reduce) slice of the aggressive
+// search: the searched dimensions, the optimizer backend walking them,
+// and the wave buffer the §6.2 gray-box rules read at wave boundaries.
+type scopeSearch struct {
+	dims    []mrconf.Param
+	opt     tuner.Optimizer
+	waveBuf []mapreduce.TaskReport
+	// waves counts wave boundaries this driver observed (differs from
+	// opt.Waves only when a wave completes with no assignment routed
+	// through this tuner).
+	waves int
 }
 
 // pctCache memoizes one percentile of an append-only sample, keyed by
@@ -140,6 +158,18 @@ type TunerOptions struct {
 	BlackBox bool
 	// CostWeights scale the Eq. 1 terms; zero value means UnitWeights.
 	CostWeights CostWeights
+	// Backend names the optimizer backend driving the aggressive
+	// search: "hill" (default, the paper's Algorithm 1), "spsa", or
+	// "tpe" — any name in tuner.Backends(). The hill backend draws from
+	// the tuner's legacy shared RNG stream so existing experiment
+	// output stays byte-identical; other backends draw from dedicated
+	// sim.Source sub-streams ("tuner/<backend>").
+	Backend string
+	// Warm, when non-nil and usable, warm-starts both scopes' searches
+	// from a previous same-class job's outcome (see tuner.Store): the
+	// backend begins in its refinement phase around the stored best and
+	// issues strictly fewer test waves than a cold search.
+	Warm *tuner.Entry
 }
 
 // NewTuner builds a tuner for a job with the given task counts. base
@@ -150,6 +180,9 @@ func NewTuner(jobName string, numMaps, numReduces int, base mrconf.Config, opts 
 	}
 	if opts.Search.M == 0 {
 		opts.Search = DefaultSearchParams()
+	}
+	if opts.Backend == "" {
+		opts.Backend = "hill"
 	}
 	rng := rand.New(rand.NewSource(int64(opts.Seed) ^ 0x6d726f6e6c696e65))
 	if opts.CostWeights == (CostWeights{}) {
@@ -167,11 +200,21 @@ func NewTuner(jobName string, numMaps, numReduces int, base mrconf.Config, opts 
 		blackBox:    opts.BlackBox,
 		costW:       opts.CostWeights,
 		search:      opts.Search,
+		backend:     opts.Backend,
 		assignments: make(map[string][]float64),
 	}
+	// The hill backend shares the legacy RNG stream between both scopes
+	// (map scope constructed first) — the exact pre-refactor draw
+	// sequence, pinned by the figure pipeline's byte-identity contract.
+	// Other backends get independent named sub-streams.
+	t.mapRNG, t.redRNG = rng, rng
+	if opts.Backend != "hill" {
+		src := sim.NewSource(opts.Seed).Sub("tuner").Sub(opts.Backend)
+		t.mapRNG, t.redRNG = src.Stream("map"), src.Stream("reduce")
+	}
 	if t.Strategy == Aggressive {
-		t.mapSearch = newHillClimb(searchDims(mrconf.ScopeMap, t.blackBox), rng, opts.Search)
-		t.reduceSearch = newHillClimb(searchDims(mrconf.ScopeReduce, t.blackBox), rng, opts.Search)
+		t.mapS = t.newSearch(mrconf.ScopeMap, t.mapRNG, warmScope(opts.Warm, mrconf.ScopeMap))
+		t.redS = t.newSearch(mrconf.ScopeReduce, t.redRNG, warmScope(opts.Warm, mrconf.ScopeReduce))
 	} else {
 		t.cons.mapOverrides = map[string]float64{}
 		t.cons.redOverrides = map[string]float64{}
@@ -180,6 +223,34 @@ func NewTuner(jobName string, numMaps, numReduces int, base mrconf.Config, opts 
 		t.cons.parCopies = base.ParallelCopies()
 	}
 	return t
+}
+
+// newSearch builds one scope's optimizer through the backend registry.
+// Both the gray-box and the black-box parameter spaces route through
+// the same path — the search plumbing no longer cares which.
+func (t *Tuner) newSearch(scope mrconf.Scope, rng *rand.Rand, warm *tuner.ScopeState) scopeSearch {
+	dims := searchDims(scope, t.blackBox)
+	opt, err := tuner.New(t.backend, tuner.Options{Params: dims, RNG: rng, Search: t.search, Warm: warm})
+	if err != nil {
+		panic(err) // CLI flags validate backend names before building a Tuner
+	}
+	return scopeSearch{dims: dims, opt: opt}
+}
+
+// warmScope extracts one scope's usable warm-start state from a Store
+// entry, or nil.
+func warmScope(e *tuner.Entry, scope mrconf.Scope) *tuner.ScopeState {
+	if e == nil {
+		return nil
+	}
+	s := e.Map
+	if scope == mrconf.ScopeReduce {
+		s = e.Reduce
+	}
+	if !s.HaveBest {
+		return nil
+	}
+	return &s
 }
 
 // Reset re-targets the tuner at a fresh job, reusing the monitor's
@@ -196,14 +267,16 @@ func (t *Tuner) Reset(jobName string, numMaps, numReduces int, base mrconf.Confi
 	t.numMaps = numMaps
 	t.numReduces = numReduces
 	clear(t.assignments)
-	t.mapWaveBuf = t.mapWaveBuf[:0]
-	t.redWaveBuf = t.redWaveBuf[:0]
-	t.mapWaves, t.redWaves = 0, 0
 	t.mapWSP95, t.redWSP95 = pctCache{}, pctCache{}
 	t.mapWSP80, t.redWSP80 = pctCache{}, pctCache{}
 	if t.Strategy == Aggressive {
-		t.mapSearch = newHillClimb(searchDims(mrconf.ScopeMap, t.blackBox), t.rng, t.search)
-		t.reduceSearch = newHillClimb(searchDims(mrconf.ScopeReduce, t.blackBox), t.rng, t.search)
+		// Fresh cold searches (a recycled tuner serves a new job; warm
+		// starts are a per-job construction-time decision), reusing the
+		// wave buffers' capacity.
+		mapBuf, redBuf := t.mapS.waveBuf[:0], t.redS.waveBuf[:0]
+		t.mapS = t.newSearch(mrconf.ScopeMap, t.mapRNG, nil)
+		t.redS = t.newSearch(mrconf.ScopeReduce, t.redRNG, nil)
+		t.mapS.waveBuf, t.redS.waveBuf = mapBuf, redBuf
 		return
 	}
 	t.cons = consState{
@@ -229,11 +302,11 @@ func (t *Tuner) Monitor() *Monitor { return t.mon }
 // Configurator exposes the Table 1 API instance backing this tuner.
 func (t *Tuner) Configurator() *DynamicConfigurator { return t.dc }
 
-func (t *Tuner) searchFor(tt mapreduce.TaskType) *hillClimb {
+func (t *Tuner) searchFor(tt mapreduce.TaskType) *scopeSearch {
 	if tt == mapreduce.MapTask {
-		return t.mapSearch
+		return &t.mapS
 	}
-	return t.reduceSearch
+	return &t.redS
 }
 
 // ---------- mapreduce.Controller implementation ----------
@@ -251,7 +324,7 @@ func (t *Tuner) AllowLaunch(task *mapreduce.Task) bool {
 		return true
 	}
 	s := t.searchFor(task.Type)
-	return s.Done() || s.HasPending()
+	return s.opt.Done() || s.opt.HasPending()
 }
 
 // TaskConfig hands each task its configuration: the next LHS sample
@@ -272,10 +345,10 @@ func (t *Tuner) TaskConfig(task *mapreduce.Task, base mrconf.Config) mrconf.Conf
 			// launch): idempotently return the same configuration.
 			return t.materialize(t.dc.ConfigFor(t.jobName, id, t.base), task.Type)
 		}
-		if !s.Done() && task.Attempt == 0 {
-			if point := s.Next(); point != nil {
+		if !s.opt.Done() && task.Attempt == 0 {
+			if point := s.opt.Next(); point != nil {
 				t.assignments[id] = point
-				t.dc.SetTaskParameters(t.jobName, id, s.pointToOverrides(point))
+				t.dc.SetTaskParameters(t.jobName, id, tuner.PointToOverrides(s.dims, point))
 				return t.materialize(t.dc.ConfigFor(t.jobName, id, t.base), task.Type)
 			}
 		}
@@ -322,31 +395,31 @@ func (t *Tuner) aggressiveObserve(r mapreduce.TaskReport) {
 	delete(t.assignments, id)
 	t.dc.ClearTask(t.jobName, id)
 	s := t.searchFor(r.Type)
-	prevWaves := s.waves
-	s.Report(point, WeightedCost(r, t.mon.TMax(r.Type), t.costW))
-	if r.Type == mapreduce.MapTask {
-		t.mapWaveBuf = append(t.mapWaveBuf, r)
-		if s.waves != prevWaves {
-			t.applyGrayBoxRules(s, t.mapWaveBuf, mrconf.ScopeMap)
-			t.mapWaveBuf = nil
-			t.mapWaves++
-		}
-	} else {
-		t.redWaveBuf = append(t.redWaveBuf, r)
-		if s.waves != prevWaves {
-			t.applyGrayBoxRules(s, t.redWaveBuf, mrconf.ScopeReduce)
-			t.redWaveBuf = nil
-			t.redWaves++
-		}
+	scope := mrconf.ScopeMap
+	if r.Type != mapreduce.MapTask {
+		scope = mrconf.ScopeReduce
+	}
+	prevWaves := s.opt.Waves()
+	s.opt.Report(point, WeightedCost(r, t.mon.TMax(r.Type), t.costW))
+	s.waveBuf = append(s.waveBuf, r)
+	if s.opt.Waves() != prevWaves {
+		t.applyGrayBoxRules(s, s.waveBuf, scope)
+		s.waveBuf = nil
+		s.waves++
 	}
 }
 
 // applyGrayBoxRules narrows the search bounds from the completed
 // wave's observations (§6.2): memory bounds chase the 80th percentile
 // of sampled values on over/under-utilization, and io.sort.mb bounds
-// chase the spill ratio.
-func (t *Tuner) applyGrayBoxRules(s *hillClimb, wave []mapreduce.TaskReport, scope mrconf.Scope) {
+// chase the spill ratio. It applies to any backend that implements the
+// tuner.Shaper capability (all built-in ones do).
+func (t *Tuner) applyGrayBoxRules(sc *scopeSearch, wave []mapreduce.TaskReport, scope mrconf.Scope) {
 	if len(wave) == 0 || t.blackBox {
+		return
+	}
+	s, ok := sc.opt.(tuner.Shaper)
+	if !ok {
 		return
 	}
 	memParam := mrconf.MapMemoryMB
@@ -431,8 +504,8 @@ func (t *Tuner) applyGrayBoxRules(s *hillClimb, wave []mapreduce.TaskReport, sco
 func (t *Tuner) bestSoFar(tt mapreduce.TaskType) mrconf.Config {
 	s := t.searchFor(tt)
 	cfg := t.base
-	if point, _, ok := s.Best(); ok {
-		for name, v := range s.pointToOverrides(point) {
+	if point, _, ok := s.opt.Best(); ok {
+		for name, v := range tuner.PointToOverrides(s.dims, point) {
 			cfg = cfg.With(name, v)
 		}
 	}
@@ -446,10 +519,10 @@ func (t *Tuner) BestConfig() mrconf.Config {
 	var cfg mrconf.Config
 	if t.Strategy == Aggressive {
 		cfg = t.base
-		for name, v := range t.overridesOf(t.mapSearch) {
+		for name, v := range overridesOf(&t.mapS) {
 			cfg = cfg.With(name, v)
 		}
-		for name, v := range t.overridesOf(t.reduceSearch) {
+		for name, v := range overridesOf(&t.redS) {
 			cfg = cfg.With(name, v)
 		}
 	} else {
@@ -476,9 +549,9 @@ func (t *Tuner) BestConfig() mrconf.Config {
 	return mrconf.Repair(cfg)
 }
 
-func (t *Tuner) overridesOf(s *hillClimb) map[string]float64 {
-	if point, _, ok := s.Best(); ok {
-		return s.pointToOverrides(point)
+func overridesOf(s *scopeSearch) map[string]float64 {
+	if point, _, ok := s.opt.Best(); ok {
+		return tuner.PointToOverrides(s.dims, point)
 	}
 	return nil
 }
@@ -488,7 +561,38 @@ func (t *Tuner) SearchDone() bool {
 	if t.Strategy != Aggressive {
 		return false
 	}
-	return t.mapSearch.Done() && t.reduceSearch.Done()
+	return t.mapS.opt.Done() && t.redS.opt.Done()
+}
+
+// Backend names the optimizer backend this tuner drives.
+func (t *Tuner) Backend() string { return t.backend }
+
+// ExportWarm snapshots both scopes' search states for the cross-job
+// warm-start Store. Only meaningful for aggressive tuners.
+func (t *Tuner) ExportWarm() tuner.Entry {
+	if t.Strategy != Aggressive {
+		return tuner.Entry{}
+	}
+	return tuner.Entry{Map: t.mapS.opt.Export(), Reduce: t.redS.opt.Export()}
+}
+
+// TestWaves returns the completed search wave counts per scope — the
+// per-job cost a warm start is meant to shrink.
+func (t *Tuner) TestWaves() (mapWaves, redWaves int) {
+	if t.Strategy != Aggressive {
+		return 0, 0
+	}
+	return t.mapS.opt.Waves(), t.redS.opt.Waves()
+}
+
+// Trajectories returns both scopes' best-cost-so-far series (one entry
+// per completed evaluation) — the convergence curves the tournament
+// experiment compares across backends.
+func (t *Tuner) Trajectories() (mapTraj, redTraj []float64) {
+	if t.Strategy != Aggressive {
+		return nil, nil
+	}
+	return t.mapS.opt.Trajectory(), t.redS.opt.Trajectory()
 }
 
 // ---------- rule materialization (§6) ----------

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mrconf"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 	"repro/internal/yarn"
 )
@@ -70,6 +71,15 @@ type Env struct {
 	// built on it), injecting the described faults deterministically
 	// from the run's seed. Nil (the default) changes nothing.
 	FaultSpec *faults.Spec
+	// Backend names the optimizer backend aggressive test runs drive:
+	// "" or "hill" is the paper's Algorithm 1 (byte-identical to the
+	// committed figures); "spsa" and "tpe" are the alternatives the
+	// tournament compares. See tuner.Backends().
+	Backend string
+	// WarmStore, when non-nil, closes the cross-job learning loop:
+	// AggressiveTestRun warm-starts each job from its class's stored
+	// search state and feeds the outcome back afterwards.
+	WarmStore *tuner.Store
 }
 
 // DefaultEnv matches the committed EXPERIMENTS.md numbers.
@@ -141,11 +151,24 @@ func (e Env) ArmFaults(r *Rig, spec *mapreduce.Spec) {
 
 // AggressiveTestRun runs one expedited test run with the aggressive
 // tuner and returns the tuner (for BestConfig) and the run result.
+// With a WarmStore it first consults the job's class entry for a warm
+// start and afterwards feeds the search outcome back into the store.
 func (e Env) AggressiveTestRun(b workload.Benchmark) (*core.Tuner, mapreduce.Result) {
-	tuner := core.NewTuner(b.Name, b.NumMaps, b.NumReduces, mrconf.Default(),
-		core.TunerOptions{Strategy: core.Aggressive, Seed: e.Seed})
-	res := e.RunOne(b, mrconf.Default(), tuner)
-	return tuner, res
+	opts := core.TunerOptions{Strategy: core.Aggressive, Seed: e.Seed, Backend: e.Backend}
+	var key string
+	if e.WarmStore != nil {
+		key = tuner.Key(b.Name, b.InputSizeMB)
+		if ent, ok := e.WarmStore.Get(key); ok && ent.Usable() {
+			w := ent
+			opts.Warm = &w
+		}
+	}
+	tn := core.NewTuner(b.Name, b.NumMaps, b.NumReduces, mrconf.Default(), opts)
+	res := e.RunOne(b, mrconf.Default(), tn)
+	if e.WarmStore != nil {
+		e.WarmStore.Update(key, tn.ExportWarm())
+	}
+	return tn, res
 }
 
 // ExpeditedRow is one bar group of Figs 4–6 plus the spill counts of
@@ -195,7 +218,7 @@ func (e Env) Expedited(b workload.Benchmark) ExpeditedRow {
 	}
 	outs := make([]repOut, reps)
 	parallelFor(reps, func(r int) {
-		sub := Env{Seed: e.Seed + uint64(r)*101, Reps: 1}
+		sub := Env{Seed: e.Seed + uint64(r)*101, Reps: 1, Backend: e.Backend}
 		tuner, test := sub.AggressiveTestRun(b)
 		cfg := tuner.BestConfig()
 		run := sub.RunOne(b, cfg, nil)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mrconf"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 	"repro/internal/yarn"
 )
@@ -91,6 +92,22 @@ type StreamSpec struct {
 	// Tuner objects are recycled across jobs via core.Tuner.Reset.
 	Tuned bool
 
+	// WarmStart (requires Tuned) switches the per-job tuner to the
+	// aggressive strategy backed by a shared cross-job tuner.Store:
+	// each job consults its class's stored search state for a warm
+	// start and feeds its outcome back on completion, so later jobs of
+	// a class issue strictly fewer test waves than the first. Warm
+	// tuners are built per job (a warm start is a construction-time
+	// decision), not recycled. Default-off, leaving the committed
+	// conservative-stream results byte-identical.
+	WarmStart bool
+	// Backend names the optimizer backend for WarmStart runs ("" =
+	// "hill"); see tuner.Backends().
+	Backend string
+	// Store is the shared warm-start store; nil allocates a private
+	// one. Pass a store to persist learning across stream runs.
+	Store *tuner.Store
+
 	// Legacy disables every steady-state optimization — no object pool,
 	// no precompiled config snapshots, no input release, and a
 	// grow-forever trace.Recorder teeing off the stats sink — restoring
@@ -137,6 +154,11 @@ type StreamResult struct {
 
 	// Stats holds the per-class aggregates the run folded into.
 	Stats *trace.StatsSink
+
+	// ClassWaves records, for WarmStart runs, every job's total test
+	// waves (both scopes) per class name in completion order — the
+	// evidence that warm-started jobs issue fewer waves. Nil otherwise.
+	ClassWaves map[string][]int
 }
 
 // Report renders the deterministic aggregate summary: run totals plus
@@ -232,7 +254,18 @@ func RunStream(spec StreamSpec) StreamResult {
 		return len(classes) - 1
 	}
 
+	var store *tuner.Store
+	if spec.Tuned && spec.WarmStart {
+		store = spec.Store
+		if store == nil {
+			store = tuner.NewStore()
+		}
+	}
+
 	res := StreamResult{Stats: stats}
+	if store != nil {
+		res.ClassWaves = make(map[string][]int)
+	}
 	totalDur := 0.0
 	submit := func(i int, t float64) {
 		if spec.MaxJobs > 0 && res.Jobs >= spec.MaxJobs {
@@ -243,10 +276,24 @@ func RunStream(spec StreamSpec) StreamResult {
 		cl := classes[ci]
 		name := fmt.Sprintf("%s-%05d", cl.Bench.Name, i)
 		var ctrl mapreduce.Controller
-		var tuner *core.Tuner
+		var tun *core.Tuner
+		var warmKey string
 		if spec.Tuned {
-			tuner = getTuner(ci, name, cl.Bench, i)
-			ctrl = tuner
+			if store != nil {
+				// Aggressive warm-start path: per-job tuner seeded from
+				// the class's best-known search state.
+				warmKey = tuner.Key(cl.Bench.Name, cl.Bench.InputSizeMB)
+				opts := core.TunerOptions{Strategy: core.Aggressive,
+					Seed: spec.Seed + uint64(i), Backend: spec.Backend}
+				if ent, ok := store.Get(warmKey); ok && ent.Usable() {
+					w := ent
+					opts.Warm = &w
+				}
+				tun = core.NewTuner(name, cl.Bench.NumMaps, cl.Bench.NumReduces, base, opts)
+			} else {
+				tun = getTuner(ci, name, cl.Bench, i)
+			}
+			ctrl = tun
 		}
 		mapreduce.Submit(rm, fs, mapreduce.Spec{
 			Name:                 name,
@@ -263,8 +310,14 @@ func RunStream(spec StreamSpec) StreamResult {
 			if now := eng.Now(); now > res.Makespan {
 				res.Makespan = now
 			}
-			if tuner != nil {
-				tunerFree[ci] = append(tunerFree[ci], tuner)
+			if tun != nil {
+				if store != nil {
+					store.Update(warmKey, tun.ExportWarm())
+					mw, rw := tun.TestWaves()
+					res.ClassWaves[cl.Bench.Name] = append(res.ClassWaves[cl.Bench.Name], mw+rw)
+				} else {
+					tunerFree[ci] = append(tunerFree[ci], tun)
+				}
 			}
 		})
 	}

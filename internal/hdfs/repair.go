@@ -25,9 +25,14 @@ func (fs *FileSystem) onNodeState(n *cluster.Node, down bool) {
 	for _, b := range fs.blocks {
 		for i, r := range b.Replicas {
 			if r == n {
+				// Swap-delete, keeping the downed node in the backing
+				// array past the new length: pending yarn.Requests alias
+				// this slice as PreferredNodes (mapreduce captures
+				// Split.Replicas by header), so the slot must stay a valid
+				// node pointer, not nil — the scheduler tolerates a down
+				// preference but not a nil one.
 				last := len(b.Replicas) - 1
-				b.Replicas[i] = b.Replicas[last]
-				b.Replicas[last] = nil
+				b.Replicas[i], b.Replicas[last] = b.Replicas[last], b.Replicas[i]
 				b.Replicas = b.Replicas[:last]
 				fs.c.Faults.ReplicasLost++
 				lost = true

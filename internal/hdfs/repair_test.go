@@ -7,6 +7,35 @@ import (
 	"repro/internal/sim"
 )
 
+// TestPruneKeepsAliasedReplicasNonNil pins the fix for a crash found
+// by the tournament churn leg: mapreduce captures Split.Replicas by
+// slice header into pending yarn.Request.PreferredNodes, so pruning a
+// dead node's replica must never write nil into the backing array —
+// a stale alias with the pre-prune length would hand the scheduler a
+// nil node.
+func TestPruneKeepsAliasedReplicasNonNil(t *testing.T) {
+	eng, c, fs := newFS(t)
+	f := fs.Create("input", 128*20)
+
+	// Alias every block's replica list at its pre-crash length, the way
+	// an already-issued container request does.
+	aliases := make([][]*cluster.Node, len(f.Blocks))
+	for i, b := range f.Blocks {
+		aliases[i] = b.Replicas
+	}
+	victim := f.Blocks[0].Replicas[0]
+	eng.At(1, func() { c.KillNode(victim) })
+	eng.RunUntil(2) // before any re-replication repairs land
+
+	for i, alias := range aliases {
+		for j, n := range alias {
+			if n == nil {
+				t.Fatalf("block %d alias slot %d is nil after prune", f.Blocks[i].ID, j)
+			}
+		}
+	}
+}
+
 // TestReReplicationRestoresRF kills a replica holder and checks the
 // namenode re-replicates every under-replicated block back to full RF
 // on surviving nodes.

@@ -37,6 +37,7 @@ var simulatedPkgs = []string{
 	"internal/yarn",
 	"internal/mapreduce",
 	"internal/faults",
+	"internal/tuner",
 }
 
 func runGoroutineInSim(p *Pass) {

@@ -36,6 +36,7 @@ var retainedAppendHotPkgs = []string{
 	"internal/cluster",
 	"internal/hdfs",
 	"internal/trace",
+	"internal/tuner",
 }
 
 func runRetainedAppend(p *Pass) {

@@ -92,9 +92,9 @@ func (ts taintSet) withStep(step Step) taintSet {
 // summary is the interprocedural behavior of one function, as far as
 // order-taint is concerned. Slots are filled at most once.
 type summary struct {
-	returnTaint [][]Step        // per result; nil = clean
+	returnTaint [][]Step         // per result; nil = clean
 	paramFlow   []map[int][]Step // per param: result index -> internal path
-	paramSink   [][]Step        // per param; nil = never reaches a sink
+	paramSink   [][]Step         // per param; nil = never reaches a sink
 }
 
 func newSummary(sig *types.Signature) *summary {

@@ -1,0 +1,369 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/lhs"
+	"repro/internal/metrics"
+	"repro/internal/mrconf"
+)
+
+func init() {
+	Register("spsa", func(o Options) Optimizer { return newSPSA(o) })
+}
+
+// SPSA gain-sequence constants (Spall's practically-universal choices:
+// a_k = a/(A+k+1)^alpha, c_k = c/(k+1)^gamma). The step sizes live in
+// the normalized [0,1]^d space, so one set of constants serves every
+// mrconf subspace regardless of raw parameter ranges.
+const (
+	spsaA     = 0.25
+	spsaC     = 0.12
+	spsaBigA  = 3
+	spsaAlpha = 0.602
+	spsaGamma = 0.101
+)
+
+// spsa is simultaneous-perturbation stochastic approximation adapted
+// to MRONLINE's wave discipline (cf. "Performance Tuning of Hadoop
+// MapReduce: A Noisy Gradient Approach", which tunes the same Hadoop
+// parameter space this way). Each wave measures the current iterate θ
+// plus B simultaneous ±c_k Rademacher perturbation pairs — batching
+// the pairs into one task wave is what maps a serial gradient method
+// onto the cluster's parallelism — then averages the B two-point
+// gradient estimates and takes one projected descent step.
+//
+// The iterate lives in the normalized [0,1]^d space; proposals cross
+// the Optimizer interface denormalized into raw parameter coordinates
+// and projected into the current (rule-tightened) mrconf bounds.
+type spsa struct {
+	params []mrconf.Param
+	space  lhs.Space // current (rule-tightened) bounds
+	full   lhs.Space // original bounds
+	rng    *rand.Rand
+	sp     SearchParams
+
+	theta []float64 // normalized current iterate
+	k     int       // SPSA iteration (== completed waves)
+	pairs int       // B perturbation pairs per wave
+
+	// budgetWaves bounds the search; derived from SearchParams so the
+	// test-run footprint is comparable to the hill backend's.
+	budgetWaves int
+
+	// One wave of proposals. kind: 0 = θ probe, 1 = +c_kΔ, 2 = −c_kΔ;
+	// pair indexes the Δ vector. Reports are matched to probes by
+	// slice identity (the driver returns the exact slice Next gave it).
+	probes      []spsaProbe
+	pending     [][]float64
+	outstanding int
+	reported    int
+	waveSize    int
+	deltas      [][]float64 // per-pair Rademacher vectors, normalized
+
+	best     []float64
+	bestCost float64
+	haveBest bool
+	done     bool
+
+	waves int
+	evals int
+	traj  trajectory
+}
+
+type spsaProbe struct {
+	point []float64 // raw-space proposal handed to the driver
+	kind  int
+	pair  int
+	cost  float64
+	seen  bool
+}
+
+func newSPSA(o Options) *spsa {
+	params, sp := o.Params, o.Search
+	space := make(lhs.Space, len(params))
+	for i, p := range params {
+		space[i] = lhs.Dim{Name: p.Name, Min: p.Min, Max: p.Max}
+	}
+	s := &spsa{
+		params: params,
+		space:  space,
+		full:   append(lhs.Space(nil), space...),
+		rng:    o.RNG,
+		sp:     sp,
+		theta:  make([]float64, len(params)),
+		pairs:  (sp.N + 1) / 2,
+		// Cold budget ≈ the hill backend's typical eval count: with
+		// the paper's knobs (N=16 → B=8, g=5) this is 15 waves of
+		// 17 probes ≈ 255 evaluations.
+		budgetWaves: 3 * sp.GlobalBudget,
+	}
+	if w := o.warmFor(); w != nil {
+		// Warm start: descend from the class's best-known point with
+		// the schedule advanced past the large early steps and half
+		// the wave budget — refinement, not re-exploration.
+		for i := range s.theta {
+			s.theta[i] = s.normalize(i, w.Best[i])
+		}
+		s.best = append([]float64(nil), w.Best...)
+		s.bestCost = w.BestCost
+		s.haveBest = true
+		s.k = s.budgetWaves                     // past the large early steps
+		s.budgetWaves = (s.budgetWaves + 1) / 2 // half the cold wave budget
+	} else {
+		// θ0 is the default configuration, the same starting point the
+		// hill backend seeds its first wave with.
+		for i, p := range params {
+			s.theta[i] = s.normalize(i, p.Default)
+		}
+	}
+	s.startWave()
+	return s
+}
+
+// normalize maps a raw coordinate into [0,1] over the full bounds.
+func (s *spsa) normalize(d int, v float64) float64 {
+	r := s.full[d].Range()
+	if r <= 0 {
+		return 0
+	}
+	return metrics.Clamp((v-s.full[d].Min)/r, 0, 1)
+}
+
+// denormalize maps a normalized coordinate back to raw space, projected
+// into the current (possibly rule-tightened) bounds.
+func (s *spsa) denormalize(d int, x float64) float64 {
+	v := s.full[d].Min + x*s.full[d].Range()
+	return metrics.Clamp(v, s.space[d].Min, s.space[d].Max)
+}
+
+func (s *spsa) rawPoint(x []float64) []float64 {
+	p := make([]float64, len(x))
+	for d := range x {
+		p[d] = s.denormalize(d, x[d])
+	}
+	return p
+}
+
+func (s *spsa) ck() float64 { return spsaC / math.Pow(float64(s.k+1), spsaGamma) }
+func (s *spsa) ak() float64 { return spsaA / math.Pow(float64(s.k+spsaBigA+1), spsaAlpha) }
+
+// startWave generates the θ probe plus B perturbation pairs. All RNG
+// draws for the wave happen here, in a fixed order, so the proposal
+// trace is a pure function of the seed.
+func (s *spsa) startWave() {
+	d := len(s.params)
+	ck := s.ck()
+	s.probes = s.probes[:0]
+	s.deltas = s.deltas[:0]
+	s.reported = 0
+	s.outstanding = 0
+
+	add := func(x []float64, kind, pair int) {
+		s.probes = append(s.probes, spsaProbe{point: s.rawPoint(x), kind: kind, pair: pair})
+	}
+	add(s.theta, 0, -1)
+	for b := 0; b < s.pairs; b++ {
+		delta := make([]float64, d)
+		for i := range delta {
+			if s.rng.Intn(2) == 0 {
+				delta[i] = -1
+			} else {
+				delta[i] = 1
+			}
+		}
+		s.deltas = append(s.deltas, delta)
+		plus := make([]float64, d)
+		minus := make([]float64, d)
+		for i := range delta {
+			plus[i] = metrics.Clamp(s.theta[i]+ck*delta[i], 0, 1)
+			minus[i] = metrics.Clamp(s.theta[i]-ck*delta[i], 0, 1)
+		}
+		add(plus, 1, b)
+		add(minus, 2, b)
+	}
+	s.waveSize = len(s.probes)
+	s.pending = s.pending[:0]
+	for i := range s.probes {
+		s.pending = append(s.pending, s.probes[i].point)
+	}
+}
+
+func (s *spsa) Done() bool            { return s.done }
+func (s *spsa) HasPending() bool      { return len(s.pending) > 0 }
+func (s *spsa) Waves() int            { return s.waves }
+func (s *spsa) State() string         { return "gradient" }
+func (s *spsa) Trajectory() []float64 { return s.traj.Trajectory() }
+
+func (s *spsa) Next() []float64 {
+	if s.done || len(s.pending) == 0 {
+		return nil
+	}
+	p := s.pending[0]
+	s.pending = s.pending[1:]
+	s.outstanding++
+	return p
+}
+
+func (s *spsa) Report(point []float64, cost float64) {
+	if s.done {
+		return
+	}
+	s.evals++
+	s.traj.observe(cost)
+	if pr := s.probeFor(point); pr != nil && !pr.seen {
+		pr.cost = cost
+		pr.seen = true
+	}
+	if !s.haveBest || cost < s.bestCost {
+		s.best = append(s.best[:0], point...)
+		s.bestCost = cost
+		s.haveBest = true
+	}
+	s.reported++
+	s.outstanding--
+	if s.reported >= s.waveSize && s.outstanding <= 0 && len(s.pending) == 0 {
+		s.endWave()
+	}
+}
+
+// probeFor matches a reported point back to its probe by slice
+// identity: the driver contract is that Report hands back the exact
+// slice Next returned.
+func (s *spsa) probeFor(point []float64) *spsaProbe {
+	if len(point) == 0 {
+		return nil
+	}
+	for i := range s.probes {
+		if len(s.probes[i].point) > 0 && &s.probes[i].point[0] == &point[0] {
+			return &s.probes[i]
+		}
+	}
+	return nil
+}
+
+func (s *spsa) Abandon() {
+	if s.outstanding > 0 {
+		s.outstanding--
+		s.waveSize--
+		if s.reported >= s.waveSize && s.outstanding <= 0 && len(s.pending) == 0 && s.waveSize > 0 {
+			s.endWave()
+		}
+	}
+}
+
+// endWave averages the completed pairs' two-point gradient estimates
+// and takes one projected descent step. For Rademacher ±1 components,
+// 1/Δ_i = Δ_i, so ĝ_i = (y⁺−y⁻)/(2 c_k) · Δ_i.
+func (s *spsa) endWave() {
+	s.waves++
+	ck := s.ck()
+	ak := s.ak()
+	d := len(s.theta)
+	grad := make([]float64, d)
+	complete := 0
+	for b := 0; b < s.pairs; b++ {
+		var plus, minus *spsaProbe
+		for i := range s.probes {
+			pr := &s.probes[i]
+			if pr.pair != b || !pr.seen {
+				continue
+			}
+			switch pr.kind {
+			case 1:
+				plus = pr
+			case 2:
+				minus = pr
+			}
+		}
+		if plus == nil || minus == nil {
+			continue // an abandoned probe voids the pair
+		}
+		complete++
+		scale := (plus.cost - minus.cost) / (2 * ck)
+		for i := range grad {
+			grad[i] += scale * s.deltas[b][i]
+		}
+	}
+	if complete > 0 {
+		inv := 1 / float64(complete)
+		for i := range grad {
+			s.theta[i] = metrics.Clamp(s.theta[i]-ak*grad[i]*inv, 0, 1)
+		}
+	}
+	// Keep θ inside the normalized image of the rule-tightened bounds,
+	// so descent cannot wander where the §6.2 rules forbid sampling.
+	for i := range s.theta {
+		s.theta[i] = metrics.Clamp(s.theta[i], s.normalize(i, s.space[i].Min), s.normalize(i, s.space[i].Max))
+	}
+	s.k++
+	if s.waves >= s.budgetWaves {
+		s.done = true
+		return
+	}
+	s.startWave()
+}
+
+func (s *spsa) Best() ([]float64, float64, bool) {
+	return s.best, s.bestCost, s.haveBest
+}
+
+func (s *spsa) Export() ScopeState {
+	st := ScopeState{
+		Backend:  "spsa",
+		Names:    paramNames(s.params),
+		BestCost: s.bestCost,
+		HaveBest: s.haveBest,
+		Evals:    s.evals,
+		Waves:    s.waves,
+	}
+	if s.haveBest {
+		st.Best = append([]float64(nil), s.best...)
+	}
+	return st
+}
+
+// Tighten narrows a dimension's bounds (§6.2 gray-box rule); the
+// iterate and best point are clamped into the new bounds.
+func (s *spsa) Tighten(name string, lo, hi float64) {
+	d := s.dimIndex(name)
+	fullLo, fullHi := s.full[d].Min, s.full[d].Max
+	lo = metrics.Clamp(lo, fullLo, fullHi)
+	hi = metrics.Clamp(hi, fullLo, fullHi)
+	if hi < lo {
+		hi = lo
+	}
+	s.space[d].Min, s.space[d].Max = lo, hi
+	s.theta[d] = metrics.Clamp(s.theta[d], s.normalize(d, lo), s.normalize(d, hi))
+	if s.haveBest {
+		s.best[d] = metrics.Clamp(s.best[d], lo, hi)
+	}
+}
+
+// Bias is a no-op: SPSA has no stratified sampler to bias; the §6.2
+// preference for a range is already expressed through Tighten.
+func (s *spsa) Bias(name string, w lhs.Weights) {
+	s.dimIndex(name) // still validate the dimension
+}
+
+// Bounds returns the current bounds of a dimension.
+func (s *spsa) Bounds(name string) (lo, hi float64) {
+	d := s.dimIndex(name)
+	return s.space[d].Min, s.space[d].Max
+}
+
+func (s *spsa) dimIndex(name string) int {
+	for d := range s.space {
+		if s.space[d].Name == name {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("tuner: unknown dimension %q", name))
+}
+
+var (
+	_ Optimizer = (*spsa)(nil)
+	_ Shaper    = (*spsa)(nil)
+)

@@ -1,0 +1,137 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Entry is what one aggressive test run teaches the Store about a job
+// class: both scopes' search outcomes. A later job of the same class
+// warm-starts its optimizers from these states.
+type Entry struct {
+	Map    ScopeState `json:"map"`
+	Reduce ScopeState `json:"reduce"`
+	// Jobs counts how many test runs contributed to the entry.
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// Usable reports whether the entry can seed at least one scope.
+func (e Entry) Usable() bool { return e.Map.HaveBest || e.Reduce.HaveBest }
+
+// Key builds the Store lookup key for a job class: the application
+// name plus the power-of-two input-size bucket, mirroring
+// core.Key's insight that near-identical inputs share a tuning. The
+// cluster is implicit — a Store lives with one serving fleet.
+func Key(app string, inputSizeMB float64) string {
+	bucket := 0
+	for s := 1.0; s < inputSizeMB; s *= 2 {
+		bucket++
+	}
+	return fmt.Sprintf("%s|2^%dMB", app, bucket)
+}
+
+// Store persists per-(app, input-scale) best points and search states
+// across jobs — the cross-job-learning half of the knowledge base
+// (Fig 3): the KnowledgeBase keeps finished configurations for reuse
+// as-is, the Store keeps search state so the next search starts where
+// the last one ended. Safe for concurrent use; per-key updates keep
+// whichever scope state has the lower best cost, so a fleet of jobs
+// monotonically improves its class's best-known point.
+type Store struct {
+	//mrlint:ignore no-goroutine-in-sim the Store lives outside the event loop: it is shared across whole simulations (tournament cells, CLI invocations), not across events
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]Entry)}
+}
+
+// Get retrieves a class entry.
+func (s *Store) Get(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Update merges a test run's outcome into the class entry: each scope
+// keeps the state with the lower best cost (a warm-started run can
+// only match or improve its seed, so the class record never regresses).
+func (s *Store) Update(key string, e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.entries[key]
+	if !ok {
+		e.Jobs = 1
+		s.entries[key] = e
+		return
+	}
+	cur.Jobs++
+	cur.Map = betterScope(cur.Map, e.Map)
+	cur.Reduce = betterScope(cur.Reduce, e.Reduce)
+	s.entries[key] = cur
+}
+
+func betterScope(a, b ScopeState) ScopeState {
+	switch {
+	case !b.HaveBest:
+		return a
+	case !a.HaveBest:
+		return b
+	case b.BestCost < a.BestCost:
+		return b
+	default:
+		return a
+	}
+}
+
+// Keys lists stored class keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored class entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(path string) error {
+	s.mu.Lock()
+	data, err := json.MarshalIndent(s.entries, "", "  ")
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("tuner: marshal store: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("tuner: save store: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reads a store written by Save.
+func LoadStore(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: load store: %w", err)
+	}
+	entries := make(map[string]Entry)
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("tuner: parse store: %w", err)
+	}
+	return &Store{entries: entries}, nil
+}

@@ -1,0 +1,134 @@
+package tuner
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func stateWithCost(c float64) ScopeState {
+	return ScopeState{
+		Backend: "hill", Names: []string{"a", "b"},
+		Best: []float64{1, 2}, BestCost: c, HaveBest: true,
+		Evals: 10, Waves: 3,
+	}
+}
+
+func TestKeyBucketsByPowerOfTwo(t *testing.T) {
+	cases := []struct {
+		app  string
+		mb   float64
+		want string
+	}{
+		{"wordcount", 1, "wordcount|2^0MB"},
+		{"wordcount", 1.5, "wordcount|2^1MB"},
+		{"wordcount", 2048, "wordcount|2^11MB"},
+		{"wordcount", 2049, "wordcount|2^12MB"},
+		{"sort", 2048, "sort|2^11MB"},
+	}
+	for _, c := range cases {
+		if got := Key(c.app, c.mb); got != c.want {
+			t.Errorf("Key(%s, %v) = %q, want %q", c.app, c.mb, got, c.want)
+		}
+	}
+	// Near-identical input sizes share a class; different scales don't.
+	if Key("wc", 1000) != Key("wc", 1020) {
+		t.Error("similar sizes landed in different classes")
+	}
+	if Key("wc", 1000) == Key("wc", 9000) {
+		t.Error("different scales share a class")
+	}
+}
+
+func TestStoreKeepsLowerCostScope(t *testing.T) {
+	s := NewStore()
+	key := Key("wc", 2048)
+	s.Update(key, Entry{Map: stateWithCost(2.0), Reduce: stateWithCost(3.0)})
+	s.Update(key, Entry{Map: stateWithCost(1.5), Reduce: stateWithCost(4.0)})
+	e, ok := s.Get(key)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Map.BestCost != 1.5 {
+		t.Fatalf("map scope kept cost %v, want the lower 1.5", e.Map.BestCost)
+	}
+	if e.Reduce.BestCost != 3.0 {
+		t.Fatalf("reduce scope kept cost %v, want the original 3.0", e.Reduce.BestCost)
+	}
+	if e.Jobs != 2 {
+		t.Fatalf("Jobs = %d, want 2", e.Jobs)
+	}
+}
+
+func TestStoreMergeFillsEmptyScope(t *testing.T) {
+	s := NewStore()
+	s.Update("k", Entry{Map: stateWithCost(2.0)})
+	s.Update("k", Entry{Reduce: stateWithCost(1.0)})
+	e, _ := s.Get("k")
+	if !e.Map.HaveBest || !e.Reduce.HaveBest {
+		t.Fatalf("merge lost a scope: %+v", e)
+	}
+	if !e.Usable() {
+		t.Fatal("entry with both scopes not usable")
+	}
+	if (Entry{}).Usable() {
+		t.Fatal("empty entry reported usable")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Update("wc|2^11MB", Entry{Map: stateWithCost(2.0), Reduce: stateWithCost(3.0)})
+	s.Update("ts|2^12MB", Entry{Map: stateWithCost(0.5)})
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", got.Len())
+	}
+	e, ok := got.Get("wc|2^11MB")
+	if !ok || e.Map.BestCost != 2.0 || len(e.Map.Best) != 2 || e.Map.Best[1] != 2 {
+		t.Fatalf("round trip mangled entry: %+v", e)
+	}
+	keys := got.Keys()
+	if len(keys) != 2 || keys[0] != "ts|2^12MB" || keys[1] != "wc|2^11MB" {
+		t.Fatalf("Keys() = %v, want sorted", keys)
+	}
+}
+
+func TestLoadStoreMissingFile(t *testing.T) {
+	if _, err := LoadStore(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+// TestStoreConcurrentUpdates exercises the mutex under the race
+// detector: a fleet of jobs updating the same class concurrently.
+func TestStoreConcurrentUpdates(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Update("k", Entry{Map: stateWithCost(float64(i*50+j) + 1)})
+				s.Get("k")
+				s.Len()
+			}
+		}(i)
+	}
+	wg.Wait()
+	e, _ := s.Get("k")
+	if e.Map.BestCost != 1 {
+		t.Fatalf("concurrent merge kept %v, want the global min 1", e.Map.BestCost)
+	}
+	if e.Jobs != 16*50 {
+		t.Fatalf("Jobs = %d, want %d", e.Jobs, 16*50)
+	}
+}
