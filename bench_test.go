@@ -402,6 +402,32 @@ func BenchmarkStreamDayLegacy(b *testing.B) {
 	benchmarkStreamDay(b, true)
 }
 
+// BenchmarkStreamDayParallel is the same simulated day on the
+// rack-cell architecture with 8 parallel-window workers: each rack is
+// a self-contained cell (scoped RM, single-rack namenode, rack-local
+// fabric, private sink) and workers drain rack windows concurrently.
+// Aggregates are identical at any worker count (pinned by
+// TestStreamWindowInvariance); only the wall clock changes.
+func BenchmarkStreamDayParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := experiments.DefaultStreamSpec(7)
+		spec.Parallel = 8
+		start := time.Now()
+		res := experiments.RunStream(spec)
+		wall := time.Since(start).Seconds()
+		if res.Completed != res.Jobs || res.Jobs < 20000 {
+			b.Fatalf("stream day: %d submitted, %d completed (want >=20000, equal)", res.Jobs, res.Completed)
+		}
+		if res.SinkEvents != res.Stats.EventCount() {
+			b.Fatalf("sink ingested %d events, result says %d", res.Stats.EventCount(), res.SinkEvents)
+		}
+		b.ReportMetric(float64(res.Jobs), "jobs")
+		b.ReportMetric(float64(res.Jobs)/wall, "jobs/sec")
+		b.ReportMetric(float64(res.Events)/float64(res.Jobs), "events/job")
+	}
+}
+
 // BenchmarkTunerBackends races the optimizer backends through one
 // aggressive expedited test run each on a full-size Table 3 app, then
 // re-runs the recommendation standalone. The metrics mirror the

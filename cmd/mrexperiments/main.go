@@ -39,6 +39,8 @@ func main() {
 		faultSpec  = flag.String("faults", "", "inject faults from this JSON spec into every run (see examples/faults/)")
 		tunerName  = flag.String("tuner", "hill", "optimizer backend for aggressive tuning runs: "+strings.Join(tuner.Backends(), "|"))
 		warmStart  = flag.String("warmstart", "", "warm-start store JSON file: load search state per job class before running, save after")
+		parallel   = flag.Int("parallel", 0, "window workers for the continuous-serving legs (rack-cell mode); 0 = serial reference")
+		lookahead  = flag.Float64("lookahead", 0, "parallel-window width in simulated seconds (0 = default 1.0)")
 	)
 	flag.Parse()
 
@@ -76,7 +78,7 @@ func main() {
 		}()
 	}
 
-	env := experiments.Env{Seed: *seed, Backend: *tunerName}
+	env := experiments.Env{Seed: *seed, Backend: *tunerName, Parallel: *parallel, Lookahead: *lookahead}
 	var store *tuner.Store
 	if *warmStart != "" {
 		if s, err := tuner.LoadStore(*warmStart); err == nil {
@@ -357,6 +359,12 @@ func stream(env experiments.Env) {
 	header("Extension: continuous serving (1h stream, 10,016 nodes, fair share)")
 	spec := experiments.DefaultStreamSpec(env.Seed)
 	spec.HorizonSecs = 3600
+	spec.Parallel = env.Parallel
+	spec.Lookahead = env.Lookahead
+	if env.Parallel > 0 {
+		spec.Faults = env.FaultSpec
+		fmt.Printf("rack-cell mode: %d window workers\n", env.Parallel)
+	}
 	fmt.Printf("%-10s %6s %10s %9s %9s %9s\n",
 		"leg", "jobs", "makespan", "mean", "p99~", "max")
 	var defStats *trace.StatsSink

@@ -20,6 +20,12 @@
 // test run uses (hill, spsa, or tpe), and -warmstart points at a
 // search-state store JSON file: aggressive runs consult it for a warm
 // start keyed by (app, input scale) and write their outcome back.
+//
+// -stream <hours> switches to the continuous-serving workload: hours
+// of mixed-job arrivals on the 10,016-node cluster (-strategy default
+// or conservative). -parallel N runs it on the rack-cell architecture
+// with N parallel-window workers (-lookahead tunes the window width);
+// the serial default stays the byte-exact figure reference.
 package main
 
 import (
@@ -62,6 +68,9 @@ func main() {
 		counters  = flag.Bool("counters", false, "print the full job counter summary")
 		tunerName = flag.String("tuner", "hill", "optimizer backend for aggressive runs: "+strings.Join(tuner.Backends(), "|"))
 		warmStart = flag.String("warmstart", "", "warm-start store JSON file (read before aggressive runs, written after)")
+		stream    = flag.Float64("stream", 0, "run the continuous-serving stream for this many simulated hours on the 10,016-node cluster instead of a single job")
+		parallel  = flag.Int("parallel", 0, "window workers for -stream (rack-cell mode); 0 = serial reference")
+		lookahead = flag.Float64("lookahead", 0, "parallel-window width in simulated seconds for -stream -parallel (0 = default 1.0)")
 	)
 	flag.Parse()
 
@@ -120,6 +129,16 @@ func main() {
 			os.Exit(2)
 		}
 		env.FaultSpec = fspec
+	}
+
+	if *stream > 0 {
+		runStream(env, *stream, *strategy, *parallel, *lookahead, *asJSON)
+		return
+	}
+	if *parallel > 0 || *lookahead > 0 {
+		fmt.Fprintln(os.Stderr, "-parallel/-lookahead require -stream: single-job runs use the"+
+			" cluster-wide resource manager, which is not shard-isolated")
+		os.Exit(2)
 	}
 
 	if *compare {
@@ -197,6 +216,44 @@ type Report struct {
 	OOMKills     int                `json:"oom_kills"`
 	Config       map[string]float64 `json:"config_overrides,omitempty"`
 	CountersText string             `json:"-"`
+}
+
+// runStream executes the continuous-serving workload (-stream): hours
+// of mixed-job arrivals on the 10,016-node cluster, serially or on the
+// rack-cell parallel-window path (-parallel N).
+func runStream(env experiments.Env, hours float64, strategy string, parallel int, lookahead float64, asJSON bool) {
+	if strategy != "default" && strategy != "conservative" {
+		fmt.Fprintln(os.Stderr, "-stream supports -strategy default (untuned) or conservative (per-job MRONLINE tuner)")
+		os.Exit(2)
+	}
+	spec := experiments.DefaultStreamSpec(env.Seed)
+	spec.HorizonSecs = hours * 3600
+	spec.Tuned = strategy == "conservative"
+	spec.Parallel = parallel
+	spec.Lookahead = lookahead
+	spec.Faults = env.FaultSpec
+	res := experiments.RunStream(spec)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Jobs       int     `json:"jobs"`
+			Completed  int     `json:"completed"`
+			Makespan   float64 `json:"makespan_secs"`
+			MeanDur    float64 `json:"mean_duration_secs"`
+			Events     uint64  `json:"engine_events"`
+			SinkEvents int     `json:"sink_events"`
+			Parallel   int     `json:"parallel"`
+		}{res.Jobs, res.Completed, res.Makespan, res.MeanDur, res.Events, res.SinkEvents, parallel}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if parallel > 0 {
+		fmt.Printf("rack-cell mode: %d window workers\n", parallel)
+	}
+	fmt.Print(res.Report())
 }
 
 func reportFrom(b workload.Benchmark, strategy string, res mapreduce.Result, cfg mrconf.Config) Report {

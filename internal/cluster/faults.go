@@ -19,6 +19,19 @@ func (c *Cluster) SubscribeNodeState(fn func(n *Node, down bool)) {
 	c.nodeListeners = append(c.nodeListeners, fn) //mrlint:ignore retained-append one subscription per layer, registered at construction
 }
 
+// SubscribeNodeStateRack registers a rack-scoped node-state listener:
+// fn sees only rack's nodes, and runs after every global listener.
+// Rack-cell layers (a scoped RM or namenode owning one rack) subscribe
+// here so a rack shard's fault callback never touches another rack's
+// state. Only valid in RackLocalNet mode, where the listener table is
+// per rack.
+func (c *Cluster) SubscribeNodeStateRack(rack int, fn func(n *Node, down bool)) {
+	if c.rackListeners == nil {
+		panic("cluster: SubscribeNodeStateRack needs RackLocalNet mode")
+	}
+	c.rackListeners[rack] = append(c.rackListeners[rack], fn) //mrlint:ignore retained-append one subscription per layer, registered at construction
+}
+
 // KillNode crashes a node: every in-flight flow on its CPU, disk and
 // NIC links is aborted (remote peers learn of it through each flow's
 // OnAbort callback), the node stops accepting new work, and subscribers
@@ -28,7 +41,7 @@ func (c *Cluster) KillNode(n *Node) {
 		return
 	}
 	n.down = true
-	c.Faults.NodesDowned++
+	c.FaultsFor(n.Rack).NodesDowned++
 	// Node-private fabrics: every flow in them belongs to this node.
 	// Abort mutates the flow list by swap-removal, so drain from the
 	// tail.
@@ -40,15 +53,21 @@ func (c *Cluster) KillNode(n *Node) {
 	// Network flows crossing either NIC direction: collect first, since
 	// aborting rewrites the membership lists. A flow never appears on
 	// both lists (same-node transfers carry no links), and Abort is
-	// idempotent regardless.
+	// idempotent regardless. Each flow is aborted on its owning fabric
+	// (the shared one, or the rack fabric in RackLocalNet mode).
 	nic := make([]*Flow, 0, len(n.NICIn.flows)+len(n.NICOut.flows))
 	nic = append(nic, n.NICIn.flows...)
 	nic = append(nic, n.NICOut.flows...)
 	for _, f := range nic {
-		c.net.Abort(f)
+		f.fabric.Abort(f)
 	}
 	for _, fn := range c.nodeListeners {
 		fn(n, true)
+	}
+	if c.rackListeners != nil {
+		for _, fn := range c.rackListeners[n.Rack] {
+			fn(n, true)
+		}
 	}
 }
 
@@ -62,8 +81,13 @@ func (c *Cluster) RestoreNode(n *Node) {
 		return
 	}
 	n.down = false
-	c.Faults.NodesRestored++
+	c.FaultsFor(n.Rack).NodesRestored++
 	for _, fn := range c.nodeListeners {
 		fn(n, false)
+	}
+	if c.rackListeners != nil {
+		for _, fn := range c.rackListeners[n.Rack] {
+			fn(n, false)
+		}
 	}
 }

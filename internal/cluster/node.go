@@ -150,6 +150,7 @@ func (n *Node) NICBandwidth() float64 { return n.NICIn.Capacity }
 // SetNICBandwidth rescales both NIC directions (fault injection: a
 // flapping or degraded link).
 func (n *Node) SetNICBandwidth(mbps float64) {
-	n.cluster.net.SetCapacity(n.NICIn, mbps)
-	n.cluster.net.SetCapacity(n.NICOut, mbps)
+	nf := n.cluster.netFor(n)
+	nf.SetCapacity(n.NICIn, mbps)
+	nf.SetCapacity(n.NICOut, mbps)
 }

@@ -30,6 +30,14 @@ type Config struct {
 	// and spread round-robin across len(RackSizes) racks (the sizes
 	// themselves are ignored).
 	Classes []NodeClass
+	// RackLocalNet restructures the network for shard-isolated serving
+	// (parallel windows): instead of one fabric on the system shard,
+	// each rack gets its own fabric — holding that rack's NICs and its
+	// uplink — on the rack's shard, so every flow event fires where the
+	// endpoints live. Cross-rack Transfer panics in this mode; it
+	// exists for rack-cell workloads where all traffic is rack-local.
+	// Fault counters also become per-rack (see FaultsFor).
+	RackLocalNet bool
 }
 
 // NodeClass describes one hardware flavor in a heterogeneous cluster.
@@ -95,9 +103,15 @@ type Cluster struct {
 	sys        *sim.Shard
 	rackShards []*sim.Shard
 
-	net     *Fabric
-	uplinks []*Link
-	cfg     Config
+	net *Fabric
+	// rackNets, in RackLocalNet mode, are the per-rack network fabrics
+	// (nil otherwise); netFor routes every flow to the right one.
+	rackNets []*Fabric
+	// rackFaults, in RackLocalNet mode, are per-rack counter sheets so
+	// rack-shard callbacks never write shared state (nil otherwise).
+	rackFaults []*metrics.FaultCounters
+	uplinks    []*Link
+	cfg        Config
 	// totalMemMB caches the cluster-wide container memory; the node set
 	// is fixed once New returns.
 	totalMemMB float64
@@ -105,6 +119,9 @@ type Cluster struct {
 	// nodeListeners are notified, in registration order, when a node
 	// goes down or comes back up (see SubscribeNodeState).
 	nodeListeners []func(n *Node, down bool)
+	// rackListeners are the rack-scoped equivalent (see
+	// SubscribeNodeStateRack); entry r only ever sees rack r's nodes.
+	rackListeners [][]func(n *Node, down bool)
 }
 
 // New builds a cluster per cfg.
@@ -120,6 +137,15 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	c.rackShards = make([]*sim.Shard, racks)
 	for r := 0; r < racks; r++ {
 		c.rackShards[r] = eng.NewShard(fmt.Sprintf("rack%02d", r))
+	}
+	if cfg.RackLocalNet {
+		c.rackNets = make([]*Fabric, racks)
+		c.rackFaults = make([]*metrics.FaultCounters, racks)
+		c.rackListeners = make([][]func(n *Node, down bool), racks)
+		for r := 0; r < racks; r++ {
+			c.rackNets[r] = NewFabric(c.rackShards[r], fmt.Sprintf("rack%02d/network", r))
+			c.rackFaults[r] = &metrics.FaultCounters{}
+		}
 	}
 
 	addNode := func(rack int, cores float64, vcores int, memMB, diskMBps, nicMBps float64) {
@@ -142,8 +168,12 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		n.diskLink = n.disk.AddLink(name+"/disk", diskMBps)
 		n.cpuLinks = []*Link{n.cpuLink}
 		n.diskLinks = []*Link{n.diskLink}
-		n.NICIn = c.net.AddLink(name+"/nic-in", nicMBps)
-		n.NICOut = c.net.AddLink(name+"/nic-out", nicMBps)
+		nf := c.net
+		if c.rackNets != nil {
+			nf = c.rackNets[rack]
+		}
+		n.NICIn = nf.AddLink(name+"/nic-in", nicMBps)
+		n.NICOut = nf.AddLink(name+"/nic-out", nicMBps)
 		c.Nodes = append(c.Nodes, n) //mrlint:ignore retained-append topology is built once and immutable afterwards
 		c.Racks[rack] = append(c.Racks[rack], n)
 	}
@@ -168,7 +198,13 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	}
 	if racks > 1 {
 		for r := 0; r < racks; r++ {
-			c.uplinks = append(c.uplinks, c.net.AddLink(fmt.Sprintf("rack%d/uplink", r), cfg.UplinkMBps)) //mrlint:ignore retained-append topology is built once and immutable afterwards
+			nf := c.net
+			if c.rackNets != nil {
+				// The uplink throttles only its own rack's cross-rack
+				// fetch share in this mode, so it lives with the rack.
+				nf = c.rackNets[r]
+			}
+			c.uplinks = append(c.uplinks, nf.AddLink(fmt.Sprintf("rack%d/uplink", r), cfg.UplinkMBps)) //mrlint:ignore retained-append topology is built once and immutable afterwards
 		}
 	}
 	for _, n := range c.Nodes {
@@ -196,13 +232,16 @@ func (c *Cluster) SameRack(a, b *Node) bool { return a.Rack == b.Rack }
 // transfer is a memory copy and completes (asynchronously) at once.
 func (c *Cluster) Transfer(src, dst *Node, mb float64, done func()) *Flow {
 	if src == dst {
-		return c.net.Start(nil, mb, 1e9, done) // effectively instant
+		return c.netFor(src).Start(nil, mb, 1e9, done) // effectively instant
+	}
+	if src.Rack != dst.Rack && c.rackNets != nil {
+		panic(fmt.Sprintf("cluster: cross-rack transfer %s -> %s in rack-local network mode", src.Name, dst.Name))
 	}
 	links := []*Link{src.NICOut, dst.NICIn}
 	if src.Rack != dst.Rack && len(c.uplinks) > 0 {
 		links = append(links, c.uplinks[src.Rack], c.uplinks[dst.Rack])
 	}
-	return c.net.Start(links, mb, 0, done)
+	return c.netFor(src).Start(links, mb, 0, done)
 }
 
 // Fetch starts an inbound network flow of mb megabytes terminating at
@@ -229,17 +268,38 @@ func (c *Cluster) Fetch(dst *Node, mb, crossRackFrac, rateCap float64, done func
 			capCross = rateCap * crossRackFrac
 			capLocal = rateCap * (1 - crossRackFrac)
 		}
+		nf := c.netFor(dst)
 		return []*Flow{
-			c.net.Start([]*Link{dst.NICIn, c.uplinks[dst.Rack]}, mb*crossRackFrac, capCross, child),
-			c.net.Start([]*Link{dst.NICIn}, mb*(1-crossRackFrac), capLocal, child),
+			nf.Start([]*Link{dst.NICIn, c.uplinks[dst.Rack]}, mb*crossRackFrac, capCross, child),
+			nf.Start([]*Link{dst.NICIn}, mb*(1-crossRackFrac), capLocal, child),
 		}
 	}
-	return []*Flow{c.net.Start([]*Link{dst.NICIn}, mb, rateCap, done)}
+	return []*Flow{c.netFor(dst).Start([]*Link{dst.NICIn}, mb, rateCap, done)}
+}
+
+// netFor returns the fabric that carries flows touching n: the shared
+// system-shard fabric normally, n's rack fabric in RackLocalNet mode.
+func (c *Cluster) netFor(n *Node) *Fabric {
+	if c.rackNets != nil {
+		return c.rackNets[n.Rack]
+	}
+	return c.net
 }
 
 // NetworkFabric exposes the shared network fabric (for tests and for
-// monitor components that sample link utilization).
+// monitor components that sample link utilization). In RackLocalNet
+// mode it is empty — flows live on the per-rack fabrics.
 func (c *Cluster) NetworkFabric() *Fabric { return c.net }
+
+// FaultsFor returns the counter sheet that callbacks owning rack's
+// state must write: the per-rack sheet in RackLocalNet mode (so rack
+// shards never share a counter), the cluster-wide one otherwise.
+func (c *Cluster) FaultsFor(rack int) *metrics.FaultCounters {
+	if c.rackFaults != nil {
+		return c.rackFaults[rack]
+	}
+	return c.Faults
+}
 
 // TotalContainerMemMB returns cluster-wide container memory.
 func (c *Cluster) TotalContainerMemMB() float64 { return c.totalMemMB }

@@ -80,6 +80,14 @@ type Env struct {
 	// AggressiveTestRun warm-starts each job from its class's stored
 	// search state and feeds the outcome back afterwards.
 	WarmStore *tuner.Store
+	// Parallel, when positive, runs the continuous-serving legs on the
+	// rack-cell architecture with that many window workers (see
+	// StreamSpec.Parallel). Zero keeps the serial reference path the
+	// committed figures pin.
+	Parallel int
+	// Lookahead is the parallel-window width for Parallel runs
+	// (0 = DefaultStreamLookahead).
+	Lookahead float64
 }
 
 // DefaultEnv matches the committed EXPERIMENTS.md numbers.

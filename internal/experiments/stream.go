@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/mrconf"
@@ -118,7 +119,52 @@ type StreamSpec struct {
 	// Sink, when non-nil, additionally receives every trace event
 	// (tee'd with the internal stats sink).
 	Sink trace.Sink
+
+	// Faults, when non-nil, injects the spec's faults into the run. On
+	// the classic path a single injector serves the whole cluster; in
+	// rack-cell mode each cell gets its own injector carrying exactly
+	// the faults that land on its nodes.
+	Faults *faults.Spec
+
+	// Parallel, when positive, runs the stream on the rack-cell
+	// architecture with parallel windows: each rack is a self-contained
+	// cell (scoped resource manager, scoped single-rack namenode,
+	// rack-local fabric, private stats sink) and the only cross-shard
+	// traffic is job submission, delivered by Send with delay
+	// StreamSubmitDelaySecs. Workers drain rack windows concurrently;
+	// results are identical at any worker count (pinned by tests).
+	// Parallel is incompatible with WarmStart, Legacy, and Sink —
+	// those paths retain cross-cell state on the system shard.
+	Parallel int
+	// Lookahead is the parallel-window width in simulated seconds
+	// (0 = DefaultStreamLookahead). It must not exceed
+	// StreamSubmitDelaySecs, the minimum cross-shard Send delay.
+	Lookahead float64
+
+	// cellSerial runs the rack-cell architecture on the serial engine:
+	// the reference leg the window-invariance tests compare parallel
+	// runs against (cell results legally differ from the classic
+	// single-namenode path, so the classic path cannot be that
+	// reference).
+	cellSerial bool
 }
+
+// Rack-cell serving timing contract: every cross-shard interaction is
+// a Send with delay ≥ the window lookahead.
+const (
+	// DefaultStreamLookahead is the parallel-window width used when
+	// StreamSpec.Lookahead is zero. Wider windows amortize the
+	// per-window barrier over more events; the ceiling is the
+	// submission delay below. 1s already yields near-full window
+	// occupancy at 313 racks — widening it further was measured to
+	// make no difference.
+	DefaultStreamLookahead = 1.0
+	// StreamSubmitDelaySecs is the latency from a job's arrival (drawn
+	// on the system shard) to its delivery at the target rack cell —
+	// the stream's only cross-shard edge, and therefore the upper
+	// bound on the usable lookahead.
+	StreamSubmitDelaySecs = 1.0
+)
 
 // DefaultStreamSpec is the flagship workload: a simulated day of
 // ~21k jobs (875/hour mean, ±50% diurnal swing) on a 10,016-node
@@ -174,7 +220,9 @@ func (r *StreamResult) Report() string {
 
 // RunStream executes one continuous-serving run to completion: every
 // arrival inside the horizon is submitted (subject to MaxJobs) and the
-// engine drains until the last job finishes.
+// engine drains until the last job finishes. Parallel > 0 selects the
+// rack-cell architecture (see StreamSpec.Parallel); the default path
+// is the serial single-RM reference the figure pipeline pins.
 func RunStream(spec StreamSpec) StreamResult {
 	classes := spec.Classes
 	if classes == nil {
@@ -186,6 +234,9 @@ func RunStream(spec StreamSpec) StreamResult {
 			panic(fmt.Sprintf("experiments: stream class %s needs positive weight", cl.Bench.Name))
 		}
 		totalWeight += cl.Weight
+	}
+	if spec.Parallel > 0 || spec.cellSerial {
+		return runStreamCells(spec, classes, totalWeight)
 	}
 
 	eng := sim.NewEngine()
@@ -217,6 +268,15 @@ func RunStream(spec StreamSpec) StreamResult {
 	}
 	if spec.Sink != nil {
 		sink = trace.Tee(sink, spec.Sink)
+	}
+
+	var hooks mapreduce.FaultHooks
+	if spec.Faults != nil {
+		inj, err := faults.New(c, src, *spec.Faults, sink)
+		if err != nil {
+			panic(err)
+		}
+		hooks = inj
 	}
 
 	base := mrconf.Default()
@@ -303,6 +363,7 @@ func RunStream(spec StreamSpec) StreamResult {
 			Trace:                sink,
 			Pool:                 pool,
 			Precompiled:          pre,
+			Faults:               hooks,
 			ReleaseInputOnFinish: !spec.Legacy,
 		}, func(rr mapreduce.Result) {
 			res.Completed++
@@ -343,4 +404,198 @@ func RunStream(spec StreamSpec) StreamResult {
 		res.RetainedEvents = legacyRec.Len()
 	}
 	return res
+}
+
+// streamCell is one rack's self-contained serving stack: everything a
+// job touches after submission lives on the rack's shard, so cells
+// drain concurrently inside parallel windows with no shared state.
+type streamCell struct {
+	shard     *sim.Shard
+	rm        *yarn.ResourceManager
+	fs        *hdfs.FileSystem
+	sink      *trace.StatsSink
+	pool      *mapreduce.Pool
+	hooks     mapreduce.FaultHooks
+	tunerFree [][]*core.Tuner
+
+	completed int
+	totalDur  float64
+	makespan  float64
+}
+
+// runStreamCells is RunStream on the rack-cell architecture: arrivals
+// are drawn on the system shard exactly as on the classic path, then
+// handed round-robin to per-rack cells via Send (the run's only
+// cross-shard edge). Per-cell results fold in rack order after the
+// drain, so every aggregate is identical at any worker count —
+// including cellSerial, the plain-engine reference leg.
+func runStreamCells(spec StreamSpec, classes []StreamClass, totalWeight int) StreamResult {
+	switch {
+	case spec.WarmStart:
+		panic("experiments: stream Parallel is incompatible with WarmStart (the shared store is cross-cell state)")
+	case spec.Legacy:
+		panic("experiments: stream Parallel is incompatible with Legacy (the recorder is cross-cell state)")
+	case spec.Sink != nil:
+		panic("experiments: stream Parallel is incompatible with Sink (an external sink is cross-cell state)")
+	}
+	la := spec.Lookahead
+	if la == 0 {
+		la = DefaultStreamLookahead
+	}
+	if la < 0 || la > StreamSubmitDelaySecs {
+		panic(fmt.Sprintf("experiments: stream lookahead %v outside (0, %v]", la, StreamSubmitDelaySecs))
+	}
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 2_000_000_000
+	sizes := make([]int, spec.Racks)
+	for i := range sizes {
+		sizes[i] = spec.NodesPerRack
+	}
+	c := cluster.New(eng, cluster.Config{
+		RackSizes:      sizes,
+		CoresPerNode:   8,
+		VCoresPerNode:  28,
+		ContainerMemMB: 6 * 1024,
+		DiskMBps:       90,
+		NICMBps:        117,
+		UplinkMBps:     1000,
+		RackLocalNet:   true,
+	})
+	if spec.Parallel > 0 {
+		eng.EnableParallelWindows(spec.Parallel, la)
+	}
+	src := sim.NewSource(spec.Seed)
+	base := mrconf.Default()
+	// The precompiled snapshot is immutable after construction, so one
+	// copy serves every cell.
+	pre := mapreduce.Precompile(base)
+
+	cells := make([]*streamCell, spec.Racks)
+	for r := range cells {
+		rackSrc := src.Sub(fmt.Sprintf("rack%03d", r))
+		cell := &streamCell{
+			shard:     c.RackShard(r),
+			sink:      trace.NewStatsSink(),
+			pool:      mapreduce.NewPool(),
+			tunerFree: make([][]*core.Tuner, len(classes)),
+		}
+		cell.rm = yarn.NewScopedResourceManager(eng, c, yarn.FairScheduler{}, r)
+		cell.fs = hdfs.NewScoped(c, rackSrc.Stream("hdfs"), r)
+		if spec.Faults != nil {
+			rack := r
+			filtered := spec.Faults.FilterNodes(func(node int) bool {
+				return c.Nodes[node].Rack == rack
+			})
+			inj, err := faults.New(c, rackSrc, filtered, cell.sink)
+			if err != nil {
+				panic(err)
+			}
+			cell.hooks = inj
+		}
+		cells[r] = cell
+	}
+
+	classRNG := src.Sub("stream").Stream("classes")
+	pickClass := func() int {
+		w := classRNG.Intn(totalWeight)
+		for i, cl := range classes {
+			w -= cl.Weight
+			if w < 0 {
+				return i
+			}
+		}
+		return len(classes) - 1
+	}
+
+	sys := c.Sys()
+	res := StreamResult{}
+	submit := func(i int, t float64) {
+		if spec.MaxJobs > 0 && res.Jobs >= spec.MaxJobs {
+			return
+		}
+		res.Jobs++
+		ci := pickClass()
+		cl := classes[ci]
+		cell := cells[(res.Jobs-1)%len(cells)]
+		// Name, class, and tuner seed are all fixed here on the system
+		// shard; the closure only touches its cell's state after the
+		// Send delivers on the rack shard.
+		name := fmt.Sprintf("%s-%05d", cl.Bench.Name, i)
+		seq := i
+		sys.Send(cell.shard, StreamSubmitDelaySecs, func() {
+			var ctrl mapreduce.Controller
+			var tun *core.Tuner
+			if spec.Tuned {
+				tun = cell.getTuner(ci, name, cl.Bench, base, spec.Seed, seq)
+				ctrl = tun
+			}
+			mapreduce.Submit(cell.rm, cell.fs, mapreduce.Spec{
+				Name:                 name,
+				Benchmark:            cl.Bench,
+				BaseConfig:           base,
+				Controller:           ctrl,
+				Trace:                cell.sink,
+				Pool:                 cell.pool,
+				Precompiled:          pre,
+				Faults:               cell.hooks,
+				ReleaseInputOnFinish: true,
+			}, func(rr mapreduce.Result) {
+				cell.completed++
+				cell.totalDur += rr.Duration
+				if now := cell.shard.Now(); now > cell.makespan {
+					cell.makespan = now
+				}
+				if tun != nil {
+					cell.tunerFree[ci] = append(cell.tunerFree[ci], tun)
+				}
+			})
+		})
+	}
+
+	_, err := workload.ScheduleArrivals(sys, src.Sub("stream"), workload.ArrivalSpec{
+		MeanPerHour:      spec.MeanPerHour,
+		DiurnalAmplitude: spec.DiurnalAmplitude,
+		Horizon:          spec.HorizonSecs,
+	}, submit)
+	if err != nil {
+		panic(err)
+	}
+	eng.Run()
+
+	// Fold per-cell results in rack order: the float sums and the sink
+	// merge see the same sequence at every worker count.
+	stats := trace.NewStatsSink()
+	totalDur := 0.0
+	for _, cell := range cells {
+		res.Completed += cell.completed
+		totalDur += cell.totalDur
+		if cell.makespan > res.Makespan {
+			res.Makespan = cell.makespan
+		}
+		stats.Merge(cell.sink)
+	}
+	res.Stats = stats
+	if res.Completed != res.Jobs {
+		panic(fmt.Sprintf("experiments: stream completed %d of %d jobs", res.Completed, res.Jobs))
+	}
+	if res.Jobs > 0 {
+		res.MeanDur = totalDur / float64(res.Jobs)
+	}
+	res.Events = eng.Processed()
+	res.SinkEvents = stats.EventCount()
+	return res
+}
+
+func (cell *streamCell) getTuner(ci int, name string, b workload.Benchmark,
+	base mrconf.Config, seed uint64, seq int) *core.Tuner {
+	if n := len(cell.tunerFree[ci]); n > 0 {
+		tu := cell.tunerFree[ci][n-1]
+		cell.tunerFree[ci][n-1] = nil
+		cell.tunerFree[ci] = cell.tunerFree[ci][:n-1]
+		tu.Reset(name, b.NumMaps, b.NumReduces, base)
+		return tu
+	}
+	return core.NewTuner(name, b.NumMaps, b.NumReduces, base,
+		core.TunerOptions{Strategy: core.Conservative, Seed: seed + uint64(seq)})
 }

@@ -20,10 +20,7 @@ import (
 // workload's own random draws — and a clean run of the same seed is
 // untouched.
 type Injector struct {
-	c *cluster.Cluster
-	// sys is the system shard: fault arrival is a cross-cutting actor
-	// (its callbacks touch nodes on any rack through the cluster API).
-	sys  *sim.Shard
+	c    *cluster.Cluster
 	rec  trace.Sink
 	spec Spec
 
@@ -71,7 +68,7 @@ func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec trace.Sink) (*Injec
 	if rec == nil {
 		rec = trace.Discard
 	}
-	in := &Injector{c: c, sys: c.Sys(), rec: rec, spec: spec, meanFailDelay: DefaultMeanFailDelaySecs}
+	in := &Injector{c: c, rec: rec, spec: spec, meanFailDelay: DefaultMeanFailDelaySecs}
 	if f := spec.TaskAttemptFail; f != nil && f.MeanDelaySecs > 0 {
 		in.meanFailDelay = f.MeanDelaySecs
 	}
@@ -100,24 +97,30 @@ func New(c *cluster.Cluster, src *sim.Source, spec Spec, rec trace.Sink) (*Injec
 	return in, nil
 }
 
+// Scheduled faults arm on the target node's rack shard, not the system
+// shard: the callbacks only touch that node's resource domains (and, in
+// rack-cell mode, that rack's listeners), so the events are rack-local
+// and legal inside parallel windows. In serial mode the shard choice
+// only labels the event — firing order and timestamps are unchanged.
 func (in *Injector) armCrash(cr NodeCrash) {
 	n := in.c.Nodes[cr.Node]
-	in.sys.At(cr.At, func() {
+	sh := n.Shard()
+	sh.At(cr.At, func() {
 		if n.Down() {
 			return
 		}
 		in.c.KillNode(n)
-		in.rec.Add(trace.Event{Time: in.c.Eng.Now(), Job: "cluster", Kind: trace.NodeDown,
+		in.rec.Add(trace.Event{Time: sh.Now(), Job: "cluster", Kind: trace.NodeDown,
 			Node: n.Name, Detail: "crash"})
 		if cr.RestartAfter <= 0 {
 			return
 		}
-		in.sys.After(cr.RestartAfter, func() {
+		sh.After(cr.RestartAfter, func() {
 			if !n.Down() {
 				return
 			}
 			in.c.RestoreNode(n)
-			in.rec.Add(trace.Event{Time: in.c.Eng.Now(), Job: "cluster", Kind: trace.NodeUp,
+			in.rec.Add(trace.Event{Time: sh.Now(), Job: "cluster", Kind: trace.NodeUp,
 				Node: n.Name, Detail: "restart"})
 		})
 	})
@@ -129,7 +132,8 @@ func (in *Injector) armCrash(cr NodeCrash) {
 // would otherwise re-install the other window's scaled capacity.
 func (in *Injector) armSlow(at float64, node int, factor, window float64, cpu bool) {
 	n := in.c.Nodes[node]
-	in.sys.At(at, func() {
+	sh := n.Shard()
+	sh.At(at, func() {
 		baseCPU := n.CPUCapacity()
 		baseDisk := n.DiskBandwidth()
 		if cpu {
@@ -139,7 +143,7 @@ func (in *Injector) armSlow(at float64, node int, factor, window float64, cpu bo
 		if window <= 0 {
 			return // degraded for the rest of the run
 		}
-		in.sys.After(window, func() {
+		sh.After(window, func() {
 			if cpu {
 				n.SetCPUCapacity(baseCPU)
 			}
@@ -154,13 +158,14 @@ const linkFlapFactor = 1e-3
 
 func (in *Injector) armFlap(l LinkFlap) {
 	n := in.c.Nodes[l.Node]
-	in.sys.At(l.At, func() {
+	sh := n.Shard()
+	sh.At(l.At, func() {
 		base := n.NICBandwidth()
 		n.SetNICBandwidth(base * linkFlapFactor)
 		if l.Window <= 0 {
 			return
 		}
-		in.sys.After(l.Window, func() {
+		sh.After(l.Window, func() {
 			n.SetNICBandwidth(base)
 		})
 	})

@@ -78,6 +78,36 @@ func (s *Spec) Empty() bool {
 		s.FetchFailRate == 0 && s.TaskAttemptFail == nil
 }
 
+// FilterNodes returns a copy of the spec keeping only the scheduled
+// faults whose target node satisfies keep, along with the
+// probabilistic rates (which are not node-addressed). Node indices are
+// not renumbered. Rack-cell serving uses it to hand each rack's
+// injector exactly the faults landing on its own nodes.
+func (s *Spec) FilterNodes(keep func(node int) bool) Spec {
+	out := Spec{FetchFailRate: s.FetchFailRate, TaskAttemptFail: s.TaskAttemptFail}
+	for _, c := range s.NodeCrashes {
+		if keep(c.Node) {
+			out.NodeCrashes = append(out.NodeCrashes, c)
+		}
+	}
+	for _, sl := range s.NodeSlow {
+		if keep(sl.Node) {
+			out.NodeSlow = append(out.NodeSlow, sl)
+		}
+	}
+	for _, d := range s.DiskDegrades {
+		if keep(d.Node) {
+			out.DiskDegrades = append(out.DiskDegrades, d)
+		}
+	}
+	for _, l := range s.LinkFlaps {
+		if keep(l.Node) {
+			out.LinkFlaps = append(out.LinkFlaps, l)
+		}
+	}
+	return out
+}
+
 // Validate checks ranges that do not depend on the target cluster
 // (node indices are checked against the cluster in New).
 func (s *Spec) Validate() error {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -73,9 +74,14 @@ type FileSystem struct {
 	OpRetryDelaySecs float64
 
 	c *cluster.Cluster
-	// sys is the system shard: the namenode and every HDFS op state
-	// machine are cross-cutting actors, so all their events carry
-	// system-shard affinity.
+	// nodes is the datanode set this namenode places over: all of
+	// c.Nodes for the stock constructor, one rack for NewScoped.
+	nodes []*cluster.Node
+	// faults is the counter sheet this namenode's shard may write.
+	faults *metrics.FaultCounters
+	// sys is the shard every namenode and op-state-machine event
+	// carries: the system shard normally (HDFS is a cross-cutting
+	// actor), the rack shard for a scoped namenode.
 	sys     *sim.Shard
 	rng     *rand.Rand
 	nextID  int
@@ -104,19 +110,7 @@ type FileSystem struct {
 // New returns a file system over the cluster with the paper's layout:
 // 128 MB blocks, 3-way replication (capped by cluster size).
 func New(c *cluster.Cluster, rng *rand.Rand) *FileSystem {
-	repl := 3
-	if len(c.Nodes) < repl {
-		repl = len(c.Nodes)
-	}
-	fs := &FileSystem{
-		BlockSizeMB:            128,
-		Replication:            repl,
-		ReReplicationDelaySecs: 15,
-		OpRetryDelaySecs:       2,
-		c:                      c,
-		sys:                    c.Sys(),
-		rng:                    rng,
-	}
+	fs := newFileSystem(c, rng, c.Nodes, c.Sys(), c.Faults)
 	fs.rackContig = true
 	for _, r := range c.Racks {
 		if len(r) == 0 || r[len(r)-1].ID-r[0].ID != len(r)-1 {
@@ -126,6 +120,44 @@ func New(c *cluster.Cluster, rng *rand.Rand) *FileSystem {
 	}
 	c.SubscribeNodeState(fs.onNodeState)
 	return fs
+}
+
+// NewScoped returns a namenode whose datanode set is exactly rack's
+// nodes, scheduling on that rack's shard and writing the rack's fault
+// counters — the rack-cell building block for parallel-window serving.
+// Placement behaves like New over a single-rack cluster (no off-rack
+// replica), which is the documented rack-cell difference from the
+// cluster-wide namenode.
+func NewScoped(c *cluster.Cluster, rng *rand.Rand, rack int) *FileSystem {
+	nodes := c.Racks[rack]
+	if len(nodes) == 0 {
+		panic(fmt.Sprintf("hdfs: scoped namenode over empty rack %d", rack))
+	}
+	fs := newFileSystem(c, rng, nodes, c.RackShard(rack), c.FaultsFor(rack))
+	// The contiguous-ID fast path indexes the cluster-wide node table;
+	// a scoped namenode always takes the scan path over its own set.
+	fs.rackContig = false
+	c.SubscribeNodeStateRack(rack, fs.onNodeState)
+	return fs
+}
+
+func newFileSystem(c *cluster.Cluster, rng *rand.Rand, nodes []*cluster.Node,
+	sys *sim.Shard, faults *metrics.FaultCounters) *FileSystem {
+	repl := 3
+	if len(nodes) < repl {
+		repl = len(nodes)
+	}
+	return &FileSystem{
+		BlockSizeMB:            128,
+		Replication:            repl,
+		ReReplicationDelaySecs: 15,
+		OpRetryDelaySecs:       2,
+		c:                      c,
+		nodes:                  nodes,
+		faults:                 faults,
+		sys:                    sys,
+		rng:                    rng,
+	}
 }
 
 // Create places a file of sizeMB across the cluster using the HDFS
@@ -152,10 +184,10 @@ func (fs *FileSystem) CreateWithBlockSize(name string, sizeMB, blockMB float64) 
 		if remaining < size {
 			size = remaining
 		}
-		writer := fs.c.Nodes[fs.writeAt%len(fs.c.Nodes)]
+		writer := fs.nodes[fs.writeAt%len(fs.nodes)]
 		fs.writeAt++
-		for i := 0; writer.Down() && i < len(fs.c.Nodes); i++ {
-			writer = fs.c.Nodes[fs.writeAt%len(fs.c.Nodes)]
+		for i := 0; writer.Down() && i < len(fs.nodes); i++ {
+			writer = fs.nodes[fs.writeAt%len(fs.nodes)]
 			fs.writeAt++
 		}
 		var b *Block
@@ -293,7 +325,7 @@ func (fs *FileSystem) placeReplicasFast(first *cluster.Node, buf []*cluster.Node
 
 func (fs *FileSystem) randomNode(ok func(*cluster.Node) bool) *cluster.Node {
 	candidates, cold := fs.scratchCand[:0], fs.scratchCold[:0]
-	for _, n := range fs.c.Nodes {
+	for _, n := range fs.nodes {
 		if n.Down() {
 			continue
 		}

@@ -118,7 +118,7 @@ func (op *ReadOp) aborted() {
 		// the node-loss path; a fresh attempt issues a fresh read.
 		return
 	}
-	op.fs.c.Faults.ReadFailovers++
+	op.fs.faults.ReadFailovers++
 	op.retry()
 }
 
@@ -240,7 +240,7 @@ func (op *WriteOp) aborted() {
 		// re-writes its output in full.
 		return
 	}
-	op.fs.c.Faults.WriteRestarts++
+	op.fs.faults.WriteRestarts++
 	op.retrying = true
 	op.fs.sys.After(op.fs.OpRetryDelaySecs, func() {
 		if op.finished || op.canceled {

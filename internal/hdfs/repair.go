@@ -34,7 +34,7 @@ func (fs *FileSystem) onNodeState(n *cluster.Node, down bool) {
 				last := len(b.Replicas) - 1
 				b.Replicas[i], b.Replicas[last] = b.Replicas[last], b.Replicas[i]
 				b.Replicas = b.Replicas[:last]
-				fs.c.Faults.ReplicasLost++
+				fs.faults.ReplicasLost++
 				lost = true
 				break
 			}
@@ -101,7 +101,7 @@ func (fs *FileSystem) startRepair(b *Block) {
 		if left == 0 {
 			b.repairing = false
 			b.Replicas = append(b.Replicas, dst)
-			fs.c.Faults.BlocksReReplicated++
+			fs.faults.BlocksReReplicated++
 			if len(b.Replicas) < fs.Replication {
 				fs.scheduleRepair()
 			}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 )
 
@@ -15,6 +16,15 @@ import (
 // harmless under the serial engine (which fires everything in global
 // order anyway), a determinism bug or a data race the moment the same
 // model runs under parallel windows.
+//
+// The rule also enforces the parallel-window timing contract on Send
+// itself: a Send whose delay argument is a compile-time constant below
+// MinSendDelaySecs is flagged wherever it appears. Such a send is
+// harmless on the serial engine but panics the moment the model runs
+// under parallel windows (sim.Shard.Send rejects delays below the
+// configured lookahead), so the linter rejects it statically. Delays
+// that are not constants cannot be judged here and are left to the
+// runtime check.
 //
 // Flagged: inside a function literal passed to a scheduling method on
 // a sim Shard or Engine, any scheduling call whose receiver expression
@@ -40,6 +50,13 @@ var shardSchedulers = map[string]bool{
 	"Reschedule": true, "Cancel": true, "Send": true,
 }
 
+// MinSendDelaySecs is the smallest constant Send delay the rule
+// accepts: the parallel-window lookahead the serving path runs with
+// (experiments.DefaultStreamLookahead). A model whose cross-shard
+// sends all cover this bound can run under parallel windows at that
+// lookahead without the runtime delay check ever firing.
+const MinSendDelaySecs = 1.0
+
 func runCrossShardEvent(p *Pass) {
 	simulated := false
 	for _, suffix := range simulatedPkgs {
@@ -61,18 +78,22 @@ func runCrossShardEvent(p *Pass) {
 				return true
 			}
 			outer, outerPath := schedulingCall(p, call)
-			if outer == "" || outerPath == "" {
+			if outer == "" {
 				return true
 			}
-			// A Send closure fires on the destination shard, so that is
-			// the affinity its body must honor.
 			if outer == "Send" {
+				checkSendDelay(p, call)
+				// A Send closure fires on the destination shard, so that
+				// is the affinity its body must honor.
 				if len(call.Args) == 0 {
 					return true
 				}
 				if outerPath = receiverPath(call.Args[0]); outerPath == "" {
 					return true
 				}
+			}
+			if outerPath == "" {
+				return true
 			}
 			for _, arg := range call.Args {
 				fl, ok := arg.(*ast.FuncLit)
@@ -84,6 +105,28 @@ func runCrossShardEvent(p *Pass) {
 			return true
 		})
 	}
+}
+
+// checkSendDelay flags a Send whose delay argument constant-folds to a
+// value below MinSendDelaySecs. The type checker has already folded
+// named constants and constant arithmetic, so `s.Send(d, shortConst,
+// fn)` is caught no matter how the constant is spelled; non-constant
+// delays are skipped (the engine's runtime check owns those).
+func checkSendDelay(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	v := p.Info.Types[call.Args[1]].Value
+	if v == nil || (v.Kind() != constant.Int && v.Kind() != constant.Float) {
+		return
+	}
+	delay, _ := constant.Float64Val(v)
+	if delay >= MinSendDelaySecs {
+		return
+	}
+	p.Report("cross-shard-event", call.Pos(),
+		"Send with constant delay %v below the parallel-window lookahead %v; the engine rejects such sends under parallel windows — widen the delay or restructure the interaction to stay shard-local",
+		delay, MinSendDelaySecs)
 }
 
 // schedulingCall reports the method name and receiver path of call if

@@ -57,7 +57,7 @@ func (j *Job) armAttemptFault(t *Task) {
 		if t.logical().logicalDone {
 			return
 		}
-		j.rm.Cluster().Faults.TaskFailuresInjected++
+		j.rm.FaultCounters().TaskFailuresInjected++
 		j.taskFailedFault(t, "injected")
 	})
 }
@@ -80,7 +80,7 @@ func (j *Job) taskFailedFault(t *Task, detail string) {
 	}
 	j.cancelWork(t)
 	j.counters.TaskFailures++
-	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.TaskFailed,
+	j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.TaskFailed,
 		TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt, Node: nodeName, Detail: detail})
 	if t.specOrigin != nil {
 		// A failed speculative copy is simply dropped.
@@ -99,7 +99,7 @@ func (j *Job) taskFailedFault(t *Task, detail string) {
 		j.pump()
 		return
 	}
-	t.EndTime = j.eng.Now()
+	t.EndTime = j.shard.Now()
 	r := j.report(t, false)
 	r.Failed = true
 	j.releaseTask(t)
@@ -135,8 +135,8 @@ func (j *Job) taskLostNode(t *Task) {
 	}
 	t.container = nil // the RM releases the container itself
 	j.counters.NodeLossKills++
-	j.rm.Cluster().Faults.AttemptsKilledNodeLoss++
-	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.TaskKilled,
+	j.rm.FaultCounters().AttemptsKilledNodeLoss++
+	j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.TaskKilled,
 		TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt, Detail: "node-lost"})
 	if t.specOrigin != nil {
 		// A lost speculative copy is simply dropped.
@@ -217,12 +217,12 @@ func (j *Job) reexecMap(t *Task, n *cluster.Node) {
 	j.counters.SpilledRecordsMap -= t.spilledRec
 	j.counters.MapSpills -= float64(t.numSpills)
 	j.counters.MapsReExecuted++
-	j.rm.Cluster().Faults.FetchFailures++
-	j.rm.Cluster().Faults.MapsReExecuted++
-	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.FetchFail,
+	j.rm.FaultCounters().FetchFailures++
+	j.rm.FaultCounters().MapsReExecuted++
+	j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.FetchFail,
 		TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt, Node: n.Name,
 		Detail: "map output lost"})
-	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.ReexecMap,
+	j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.ReexecMap,
 		TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt + 1, Node: n.Name})
 
 	totalBefore := j.totalMapOutMB

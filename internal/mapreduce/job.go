@@ -94,7 +94,7 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 	j.rm = rm
 	j.fs = fs
 	j.ctrl = s.Controller
-	j.startTime = rm.Engine().Now()
+	j.startTime = rm.Shard().Now()
 	j.onDone = onDone
 	if pc := s.Precompiled; pc != nil && pc.base.Same(s.BaseConfig) {
 		j.baseSnap = pc.baseSnap
@@ -153,7 +153,7 @@ func Submit(rm *yarn.ResourceManager, fs *hdfs.FileSystem, spec Spec, onDone fun
 		j.reduceTasks = append(j.reduceTasks, t)
 	}
 
-	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.JobSubmit,
+	j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.JobSubmit,
 		Detail: fmt.Sprintf("%d maps, %d reduces", len(j.mapTasks), len(j.reduceTasks))})
 	j.shard.After(0, j.pump)
 	j.scheduleSpeculation()
@@ -167,7 +167,7 @@ func (j *Job) traceTask(t *Task, kind trace.Kind) {
 		node = t.container.Node.Name
 	}
 	j.spec.Trace.Add(trace.Event{
-		Time: j.eng.Now(), Job: j.Name, Kind: kind,
+		Time: j.shard.Now(), Job: j.Name, Kind: kind,
 		TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt, Node: node,
 	})
 }
@@ -239,7 +239,7 @@ func (j *Job) pump() {
 // requestWindow caps requested-but-unfinished tasks at roughly twice
 // what the cluster can run at once for the given container size.
 func (j *Job) requestWindow(memMB float64) float64 {
-	slots := 2 * j.rm.Cluster().TotalContainerMemMB() / memMB
+	slots := 2 * j.rm.TotalContainerMemMB() / memMB
 	if slots < 36 {
 		slots = 36
 	}
@@ -250,7 +250,7 @@ func (j *Job) reduceHeadroomOK(memMB float64) bool {
 	if j.completedMaps == len(j.mapTasks) {
 		return true
 	}
-	limit := ReduceHeadroomFraction * j.rm.Cluster().TotalContainerMemMB()
+	limit := ReduceHeadroomFraction * j.rm.TotalContainerMemMB()
 	return j.reduceMemHeld+memMB <= limit
 }
 
@@ -411,7 +411,7 @@ func (j *Job) taskSucceeded(t *Task) {
 		j.killAttempt(other)
 	}
 	t.State = TaskSucceeded
-	t.EndTime = j.eng.Now()
+	t.EndTime = j.shard.Now()
 	j.traceTask(t, trace.TaskFinish)
 	r := j.report(t, false)
 	j.releaseTask(t)
@@ -453,7 +453,7 @@ func (j *Job) taskFailed(t *Task, reason error) {
 		j.pump()
 		return
 	}
-	t.EndTime = j.eng.Now()
+	t.EndTime = j.shard.Now()
 	t.oomCount++
 	j.traceTask(t, trace.TaskOOM)
 	j.counters.OOMKills++
@@ -482,12 +482,12 @@ func (j *Job) finish(err error) {
 	j.finished = true
 	j.failed = err != nil
 	j.failErr = err
-	j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.JobFinish,
+	j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.JobFinish,
 		Detail: fmt.Sprintf("failed=%v", j.failed)})
 	j.app.Finish()
 	res := Result{
 		JobName:  j.Name,
-		Duration: j.eng.Now() - j.startTime,
+		Duration: j.shard.Now() - j.startTime,
 		Counters: j.counters,
 		Reports:  j.reports,
 		Failed:   j.failed,

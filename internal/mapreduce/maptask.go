@@ -20,7 +20,7 @@ var errOOM = errors.New("container killed: out of memory")
 //  3. final spill plus merge passes (disk + merge CPU).
 func (j *Job) runMap(t *Task, c *yarn.Container) {
 	t.State = TaskRunning
-	t.StartTime = j.eng.Now()
+	t.StartTime = j.shard.Now()
 	t.container = c
 	t.cpuSecs = 0
 	j.traceTask(t, trace.TaskStart)

@@ -39,7 +39,7 @@ type reduceRun struct {
 // become available), merge/sort, reduce function, and output write.
 func (j *Job) runReduce(t *Task, c *yarn.Container) {
 	t.State = TaskRunning
-	t.StartTime = j.eng.Now()
+	t.StartTime = j.shard.Now()
 	t.container = c
 	t.cpuSecs = 0
 	j.traceTask(t, trace.TaskStart)
@@ -163,8 +163,8 @@ func (j *Job) tryFetch(r *reduceRun) {
 	if h := j.spec.Faults; h != nil && h.FetchFails() {
 		// The fetch attempt failed (dropped connection, bad checksum);
 		// back off and retry, like the fetcher's exponential backoff.
-		j.rm.Cluster().Faults.FetchFailures++
-		j.spec.Trace.Add(trace.Event{Time: j.eng.Now(), Job: j.Name, Kind: trace.FetchFail,
+		j.rm.FaultCounters().FetchFailures++
+		j.spec.Trace.Add(trace.Event{Time: j.shard.Now(), Job: j.Name, Kind: trace.FetchFail,
 			TaskType: t.Type.String(), TaskID: t.ID, Attempt: t.Attempt,
 			Node: t.container.Node.Name, Detail: "injected"})
 		r.busy = true

@@ -195,3 +195,112 @@ func TestParallelInvalidConfig(t *testing.T) {
 		eng.NewShard("late")
 	}()
 }
+
+// TestParallelMergeTieOrder is the k-way-merge determinism test: it
+// pins the exact (time, source shard, send order) sequence assignment
+// of the window barrier against a hand-computed expectation, with
+// exact timestamp ties both across shards and within one shard, and
+// with sends issued out of time order (so the per-shard outbox sort is
+// load-bearing). Identical at every worker count, twice.
+func TestParallelMergeTieOrder(t *testing.T) {
+	run := func(workers int) []string {
+		eng := NewEngine()
+		s1 := eng.NewShard("s1")
+		s2 := eng.NewShard("s2")
+		dst := eng.NewShard("dst")
+		var log []string
+		recv := func(tag string) func() {
+			return func() { log = append(log, fmt.Sprintf("%.1f %s", dst.Now(), tag)) }
+		}
+		// Both source shards fire at t=1 inside one window; each sends
+		// twice to dst, later delivery first, with the 2.0 arrivals an
+		// exact cross-shard tie.
+		s1.At(1, func() {
+			s1.Send(dst, 1.5, recv("s1-late"))
+			s1.Send(dst, 1.0, recv("s1-early"))
+		})
+		s2.At(1, func() {
+			s2.Send(dst, 1.5, recv("s2-late"))
+			s2.Send(dst, 1.0, recv("s2-early"))
+		})
+		eng.EnableParallelWindows(workers, 1.0)
+		eng.Run()
+		return log
+	}
+	want := []string{"2.0 s1-early", "2.0 s2-early", "2.5 s1-late", "2.5 s2-late"}
+	for _, w := range []int{1, 4} {
+		got := run(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d merge order %v, want %v", w, got, want)
+		}
+	}
+	if a, b := run(4), run(4); !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed merge order diverged across runs")
+	}
+}
+
+// TestParallelPoolReuseAcrossRuns pins the persistent-pool lifecycle:
+// the worker pool is created inside RunUntil and torn down on its way
+// out, so split runs (RunUntil then Run) behave exactly like one
+// uninterrupted Run — multi-shard windows on both sides of the split.
+func TestParallelPoolReuseAcrossRuns(t *testing.T) {
+	const seed, shards = 11, 6
+	const lookahead = 0.5
+
+	oneShot := runIsolated(seed, shards, 8, lookahead)
+
+	eng := NewEngine()
+	logs := buildIsolatedWorkload(eng, seed, shards, lookahead)
+	eng.EnableParallelWindows(8, lookahead)
+	eng.RunUntil(1.5)
+	eng.RunUntil(2.5)
+	eng.Run()
+
+	if !reflect.DeepEqual(oneShot, logs) {
+		t.Fatal("split RunUntil/Run diverged from a single Run with the same seed")
+	}
+}
+
+// TestParallelShortSendPanicsInSoloDrain pins that the Send delay
+// floor holds even on the adaptive single-shard fast path, where sends
+// execute with serial semantics: a short delay must fail on first
+// execution, not only when a multi-shard window happens to catch it.
+func TestParallelShortSendPanicsInSoloDrain(t *testing.T) {
+	eng := NewEngine()
+	a := eng.NewShard("a")
+	b := eng.NewShard("b")
+	b.At(50, func() {}) // far away: the window around t=1 holds a alone
+	a.At(1, func() {
+		a.Send(b, 0.01, func() {}) // lookahead is 1.0: too short
+	})
+	eng.EnableParallelWindows(2, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short cross-shard Send during a solo drain did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+// TestParallelCrossShardAtPanicsInWindow is the multi-shard-window
+// variant of the At isolation guard (the two-shard case in
+// TestParallelCrossShardAtPanics takes the solo fast path): inside a
+// window that holds a and c, scheduling on the idle shard b is caught
+// on the worker and re-raised at the barrier.
+func TestParallelCrossShardAtPanicsInWindow(t *testing.T) {
+	eng := NewEngine()
+	a := eng.NewShard("a")
+	b := eng.NewShard("b")
+	c := eng.NewShard("c")
+	a.At(1, func() {
+		b.At(5, func() {}) // must be a.Send(b, ...)
+	})
+	c.At(1.2, func() {}) // keeps the window multi-shard
+	eng.EnableParallelWindows(2, 2.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard At inside a multi-shard window did not panic")
+		}
+	}()
+	eng.Run()
+}

@@ -46,6 +46,7 @@ type Shard struct {
 	localCount uint64 // seqs consumed by this shard within the window
 	fired      uint64 // events fired by this shard within the window
 	outbox     []pendingSend
+	obCur      int // barrier-merge cursor into the sorted outbox
 	stopReq    bool
 	panicked   any
 }
@@ -104,10 +105,17 @@ func (s *Shard) take(t float64, seq uint64, fn func()) *Event {
 // callbacks may call At on it; cross-shard scheduling must go through
 // Send.
 func (s *Shard) At(t float64, fn func()) *Event {
-	e := s.eng
-	if e.par != nil && e.par.active && !s.inWindow {
+	if p := s.eng.par; p != nil && p.active && !s.inWindow && p.solo != s {
 		panic(fmt.Sprintf("sim: At on shard %q outside its window during parallel execution; use Send", s.name))
 	}
+	return s.at(t, fn)
+}
+
+// at is At without the parallel-mode affinity guard; Send's serial
+// fallback delivers through it (a Send is the sanctioned cross-shard
+// path, so the guard must not reject the destination shard).
+func (s *Shard) at(t float64, fn func()) *Event {
+	e := s.eng
 	if now := s.Now(); t < now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, now))
 	}
@@ -197,6 +205,18 @@ func (s *Shard) Send(dst *Shard, delay float64, fn func()) *Event {
 	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
 		panic(fmt.Sprintf("sim: Send with invalid delay %v", delay))
 	}
+	// In parallel mode the delay floor is enforced unconditionally —
+	// not just inside windows — so a lookahead violation fails
+	// deterministically on its first execution instead of depending on
+	// the window occupancy that happened to surround it (the adaptive
+	// solo drain otherwise runs sends with serial semantics and would
+	// mask short delays). mrlint's cross-shard-event rule flags the
+	// constant-delay cases statically.
+	if p := s.eng.par; p != nil && delay < p.lookahead {
+		panic(fmt.Sprintf(
+			"sim: Send from shard %q to %q with delay %.9f below the lookahead %.9f; cross-shard delays must be >= the lookahead",
+			s.name, dst.name, delay, p.lookahead))
+	}
 	if s.inWindow {
 		at := s.now + delay
 		if at < s.windowEnd {
@@ -207,7 +227,7 @@ func (s *Shard) Send(dst *Shard, delay float64, fn func()) *Event {
 		s.outbox = append(s.outbox, pendingSend{dst: dst, at: at, order: uint64(len(s.outbox)), fn: fn})
 		return nil
 	}
-	return dst.At(s.Now()+delay, fn)
+	return dst.at(s.Now()+delay, fn)
 }
 
 // Pending returns the number of queued (not yet fired) events on this

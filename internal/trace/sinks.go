@@ -195,6 +195,34 @@ func (c *ClassStats) ApproxPercentile(p float64) float64 {
 	return c.DurMax
 }
 
+// merge folds o into c: counters and the histogram sum; the duration
+// extremes only move when o actually finished jobs.
+func (c *ClassStats) merge(o *ClassStats) {
+	if o.Jobs > 0 {
+		if c.Jobs == 0 || o.DurMin < c.DurMin {
+			c.DurMin = o.DurMin
+		}
+		if o.DurMax > c.DurMax {
+			c.DurMax = o.DurMax
+		}
+	}
+	c.Jobs += o.Jobs
+	c.Submitted += o.Submitted
+	c.MapStarts += o.MapStarts
+	c.MapFinishes += o.MapFinishes
+	c.RedStarts += o.RedStarts
+	c.RedFinishes += o.RedFinishes
+	c.OOMs += o.OOMs
+	c.Kills += o.Kills
+	c.Failures += o.Failures
+	c.FetchFails += o.FetchFails
+	c.MapReexecs += o.MapReexecs
+	c.DurSum += o.DurSum
+	for i, n := range o.durHist {
+		c.durHist[i] += n
+	}
+}
+
 func (c *ClassStats) observeDuration(d float64) {
 	if c.Jobs == 0 || d < c.DurMin {
 		c.DurMin = d
@@ -334,32 +362,27 @@ func (s *StatsSink) Class(name string) ClassStats {
 func (s *StatsSink) Overall() ClassStats {
 	var out ClassStats
 	for _, name := range s.Classes() {
-		c := s.classes[name]
-		if c.Jobs > 0 {
-			if out.Jobs == 0 || c.DurMin < out.DurMin {
-				out.DurMin = c.DurMin
-			}
-			if c.DurMax > out.DurMax {
-				out.DurMax = c.DurMax
-			}
-		}
-		out.Jobs += c.Jobs
-		out.Submitted += c.Submitted
-		out.MapStarts += c.MapStarts
-		out.MapFinishes += c.MapFinishes
-		out.RedStarts += c.RedStarts
-		out.RedFinishes += c.RedFinishes
-		out.OOMs += c.OOMs
-		out.Kills += c.Kills
-		out.Failures += c.Failures
-		out.FetchFails += c.FetchFails
-		out.MapReexecs += c.MapReexecs
-		out.DurSum += c.DurSum
-		for i, n := range c.durHist {
-			out.durHist[i] += n
-		}
+		out.merge(s.classes[name])
 	}
 	return out
+}
+
+// Merge folds another sink's aggregates into s, class by class in o's
+// insertion order (names are already classified, so o's classes land
+// verbatim). Event counts sum; o's in-flight jobs are not carried over
+// — a merged sink is expected to be quiescent. Rack-cell serving uses
+// this to fold each cell's private sink into the run-level one.
+func (s *StatsSink) Merge(o *StatsSink) {
+	s.events += o.events
+	for _, name := range o.order {
+		c, ok := s.classes[name]
+		if !ok {
+			c = &ClassStats{}
+			s.classes[name] = c
+			s.order = append(s.order, name) //mrlint:ignore retained-append one entry per job class, bounded by the mix not the stream
+		}
+		c.merge(o.classes[name])
+	}
 }
 
 // WriteSummary renders a deterministic per-class table, classes in

@@ -89,3 +89,37 @@ func TestStatsSinkAggregatesAndOverall(t *testing.T) {
 		t.Fatalf("summary missing expected columns:\n%s", b.String())
 	}
 }
+
+// TestStatsSinkMerge checks that splitting a stream across sinks and
+// merging yields the same aggregates as one sink seeing everything.
+func TestStatsSinkMerge(t *testing.T) {
+	jobs := map[string]float64{"wordcount-00001": 40, "wordcount-00002": 80, "terasort-00001": 400}
+	feed := func(s *StatsSink, job string, dur float64) {
+		s.Add(Event{Time: 0, Job: job, Kind: JobSubmit})
+		s.Add(Event{Time: 1, Job: job, Kind: TaskStart, TaskType: "map"})
+		s.Add(Event{Time: dur - 1, Job: job, Kind: TaskFinish, TaskType: "map"})
+		s.Add(Event{Time: dur, Job: job, Kind: JobFinish})
+	}
+	whole := NewStatsSink()
+	master := NewStatsSink()
+	for job, dur := range jobs {
+		feed(whole, job, dur)
+		cell := NewStatsSink()
+		feed(cell, job, dur)
+		master.Merge(cell)
+	}
+	if master.EventCount() != whole.EventCount() {
+		t.Fatalf("merged events = %d; want %d", master.EventCount(), whole.EventCount())
+	}
+	if got, want := master.Classes(), whole.Classes(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("merged classes = %v; want %v", got, want)
+	}
+	for _, name := range whole.Classes() {
+		if got, want := master.Class(name), whole.Class(name); got != want {
+			t.Fatalf("class %s: merged %+v != whole %+v", name, got, want)
+		}
+	}
+	if got, want := master.Overall(), whole.Overall(); got != want {
+		t.Fatalf("merged overall %+v != whole %+v", got, want)
+	}
+}

@@ -15,7 +15,7 @@ import "repro/internal/cluster"
 // they next recover.
 
 func (rm *ResourceManager) onNodeState(n *cluster.Node, down bool) {
-	id := n.ID
+	id := n.ID - rm.baseID
 	if down {
 		rm.nodeDown[id] = true
 		rm.declaredLost[id] = false
@@ -40,7 +40,7 @@ func (rm *ResourceManager) onNodeState(n *cluster.Node, down bool) {
 	if rm.blacklisted[id] {
 		rm.blacklisted[id] = false
 		rm.blackCount--
-		rm.c.Faults.NodesUnblacklisted++
+		rm.faults.NodesUnblacklisted++
 	}
 	rm.kick()
 }
@@ -51,7 +51,7 @@ func (rm *ResourceManager) onNodeState(n *cluster.Node, down bool) {
 // it can handle node-scoped state (completed map outputs), and re-runs
 // assignment for the freed demand.
 func (rm *ResourceManager) declareNodeLost(n *cluster.Node) {
-	rm.declaredLost[n.ID] = true
+	rm.declaredLost[n.ID-rm.baseID] = true
 	// Collect first: Release rewrites liveByApp. Iterating the apps
 	// slice (never the map) keeps the reclaim order deterministic.
 	var lost []*Container
@@ -78,7 +78,7 @@ func (rm *ResourceManager) reclaimLost(c *Container) {
 	if c.released {
 		return
 	}
-	rm.c.Faults.ContainersLost++
+	rm.faults.ContainersLost++
 	switch {
 	case c.OnNodeLost != nil:
 		c.OnNodeLost(c)
@@ -95,7 +95,7 @@ func (rm *ResourceManager) reclaimLost(c *Container) {
 // recovers. Failures on an already-down node are ignored (the whole
 // node is being handled by the loss path).
 func (rm *ResourceManager) ReportTaskFailure(n *cluster.Node) {
-	id := n.ID
+	id := n.ID - rm.baseID
 	if rm.nodeDown[id] || rm.BlacklistThreshold <= 0 {
 		return
 	}
@@ -103,15 +103,18 @@ func (rm *ResourceManager) ReportTaskFailure(n *cluster.Node) {
 	if !rm.blacklisted[id] && rm.nodeFailures[id] >= rm.BlacklistThreshold {
 		rm.blacklisted[id] = true
 		rm.blackCount++
-		rm.c.Faults.NodesBlacklisted++
+		rm.faults.NodesBlacklisted++
 	}
 }
 
 // Blacklisted reports whether the node is currently blacklisted.
-func (rm *ResourceManager) Blacklisted(n *cluster.Node) bool { return rm.blacklisted[n.ID] }
+func (rm *ResourceManager) Blacklisted(n *cluster.Node) bool {
+	return rm.blacklisted[n.ID-rm.baseID]
+}
 
 // NodeDeclaredLost reports whether the node is down and its containers
 // have been reclaimed (for tests).
 func (rm *ResourceManager) NodeDeclaredLost(n *cluster.Node) bool {
-	return rm.nodeDown[n.ID] && rm.declaredLost[n.ID]
+	id := n.ID - rm.baseID
+	return rm.nodeDown[id] && rm.declaredLost[id]
 }

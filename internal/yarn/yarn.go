@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -146,11 +147,24 @@ type Scheduler interface {
 }
 
 // ResourceManager owns cluster capacity and runs the allocation loop.
+// The stock constructor manages the whole cluster from the system
+// shard; NewScopedResourceManager manages one rack from that rack's
+// shard (the rack-cell serving layout), with the same behavior over
+// its node subset.
 type ResourceManager struct {
 	eng   *sim.Engine
-	shard *sim.Shard // system shard: the RM is a cross-cutting actor
+	shard *sim.Shard // system shard, or the rack shard for a scoped RM
 	c     *cluster.Cluster
 	sched Scheduler
+
+	// nodes is the managed node set (all of c.Nodes, or one rack);
+	// baseID rebases the dense per-node arrays onto it, and faults is
+	// the counter sheet this RM's shard may write.
+	nodes  []*cluster.Node
+	baseID int
+	faults *metrics.FaultCounters
+	// totalMemMB caches container memory across the managed nodes.
+	totalMemMB float64
 
 	apps        []*App
 	nextAppID   int
@@ -230,11 +244,35 @@ type ResourceManager struct {
 	BlacklistThreshold int
 }
 
-// NewResourceManager returns an RM over the cluster with the given
-// scheduling policy.
+// NewResourceManager returns an RM over the whole cluster with the
+// given scheduling policy, scheduling on the system shard.
 func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *ResourceManager {
+	rm := newResourceManager(eng, c, sched, c.Nodes, c.Sys(), c.Faults)
+	c.SubscribeNodeState(rm.onNodeState)
+	return rm
+}
+
+// NewScopedResourceManager returns an RM that manages exactly rack's
+// nodes, scheduling on that rack's shard and writing the rack's fault
+// counters — the rack-cell building block for parallel-window serving.
+// It requires the rack's node IDs to be contiguous (true for the
+// homogeneous RackSizes layout) and, for fault delivery, the cluster
+// to be in RackLocalNet mode.
+func NewScopedResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler, rack int) *ResourceManager {
+	nodes := c.Racks[rack]
+	if len(nodes) == 0 {
+		panic(fmt.Sprintf("yarn: scoped RM over empty rack %d", rack))
+	}
+	rm := newResourceManager(eng, c, sched, nodes, c.RackShard(rack), c.FaultsFor(rack))
+	c.SubscribeNodeStateRack(rack, rm.onNodeState)
+	return rm
+}
+
+func newResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler,
+	nodes []*cluster.Node, shard *sim.Shard, faults *metrics.FaultCounters) *ResourceManager {
 	rm := &ResourceManager{
-		eng: eng, shard: c.Sys(), c: c, sched: sched,
+		eng: eng, shard: shard, c: c, sched: sched,
+		nodes: nodes, faults: faults,
 		shapeCounts:     make(map[Resource]int),
 		liveByApp:       make(map[*App][]*Container),
 		SchedulingDelay: 0.5,
@@ -247,18 +285,21 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *R
 		NodeExpirySecs:     30,
 		BlacklistThreshold: 3,
 	}
-	n := len(c.Nodes)
+	rm.baseID = nodes[0].ID
+	n := len(nodes)
 	rm.nodeCapMem = make([]float64, n)
 	rm.nodeUsedMem = make([]float64, n)
 	rm.nodeUsedVC = make([]int, n)
 	rm.nodeVCores = make([]int, n)
-	for i, node := range c.Nodes {
-		if node.ID != i {
-			panic(fmt.Sprintf("yarn: node %s has ID %d at index %d", node.Name, node.ID, i))
+	for i, node := range nodes {
+		if node.ID != rm.baseID+i {
+			panic(fmt.Sprintf("yarn: node %s has ID %d at index %d (base %d); managed node IDs must be contiguous",
+				node.Name, node.ID, i, rm.baseID))
 		}
 		rm.nodeCapMem[i] = node.Mem.Capacity
 		rm.nodeUsedMem[i] = node.Mem.Used()
 		rm.nodeVCores[i] = node.VCores
+		rm.totalMemMB += node.Mem.Capacity
 	}
 	rm.nodeDown = make([]bool, n)
 	rm.declaredLost = make([]bool, n)
@@ -271,12 +312,26 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, sched Scheduler) *R
 		rm.assigning = false
 		rm.assign()
 	}
-	c.SubscribeNodeState(rm.onNodeState)
 	return rm
 }
 
 // Cluster returns the managed cluster.
 func (rm *ResourceManager) Cluster() *cluster.Cluster { return rm.c }
+
+// Nodes returns the managed node set: the whole cluster for the stock
+// RM, one rack for a scoped RM.
+func (rm *ResourceManager) Nodes() []*cluster.Node { return rm.nodes }
+
+// TotalContainerMemMB returns container memory across the managed
+// nodes. Consumers sizing against the RM (the mapreduce AM's reduce
+// slot estimate) must use this, not the cluster-wide total, so a
+// scoped RM is sized like the rack it owns.
+func (rm *ResourceManager) TotalContainerMemMB() float64 { return rm.totalMemMB }
+
+// FaultCounters returns the counter sheet the RM and the jobs it runs
+// must write: the cluster-wide sheet for the stock RM, the rack's own
+// sheet for a scoped RM (so rack-shard callbacks never share state).
+func (rm *ResourceManager) FaultCounters() *metrics.FaultCounters { return rm.faults }
 
 // Engine returns the simulation engine.
 func (rm *ResourceManager) Engine() *sim.Engine { return rm.eng }
@@ -336,7 +391,7 @@ func (a *App) Request(req *Request) {
 	req.seq = a.rm.nextReqSeq
 	a.rm.nextReqSeq++
 	req.index = len(a.pending)
-	req.enqueued = a.rm.eng.Now()
+	req.enqueued = a.rm.shard.Now()
 	a.pending = append(a.pending, req)
 	a.pendingShapes = addShape(a.pendingShapes, req.Resource)
 	a.rm.pendingShapes = addShape(a.rm.pendingShapes, req.Resource)
@@ -370,7 +425,7 @@ func (rm *ResourceManager) Release(c *Container) {
 	}
 	c.released = true
 	c.Node.Mem.Release(c.Resource.MemMB)
-	id := c.Node.ID
+	id := c.Node.ID - rm.baseID
 	rm.nodeUsedMem[id] -= c.Resource.MemMB
 	if rm.nodeUsedMem[id] < 0 {
 		rm.nodeUsedMem[id] = 0 // mirrors MemPool.Release's clamp
@@ -431,7 +486,7 @@ func (rm *ResourceManager) indexRequest(req *Request, delta int) {
 		return
 	}
 	for _, n := range req.PreferredNodes {
-		rm.prefNode[n.ID] += delta
+		rm.prefNode[n.ID-rm.baseID] += delta
 		rm.prefRack[n.Rack] += delta
 	}
 }
@@ -457,7 +512,7 @@ func (rm *ResourceManager) oldestConstrainedEnqueue() float64 {
 // MemPool.CanAllocate (mb <= Capacity-used+1e-9) against the RM's
 // mirror arrays.
 func (rm *ResourceManager) fits(node *cluster.Node, r Resource) bool {
-	id := node.ID
+	id := node.ID - rm.baseID
 	return r.MemMB <= rm.nodeCapMem[id]-rm.nodeUsedMem[id]+1e-9 &&
 		rm.nodeUsedVC[id]+r.VCores <= rm.nodeVCores[id]
 }
@@ -477,7 +532,7 @@ func (rm *ResourceManager) anyPendingFits(node *cluster.Node) bool {
 // assign walks nodes round-robin, letting the scheduler pick an app
 // for each node with free capacity, until no more placements succeed.
 func (rm *ResourceManager) assign() {
-	n := len(rm.c.Nodes)
+	n := len(rm.nodes)
 	if n == 0 {
 		return
 	}
@@ -499,7 +554,7 @@ func (rm *ResourceManager) assign() {
 	// one instant and placements only remove requests, so computing
 	// this once up front errs, if at all, toward scanning a node the
 	// sweep could have skipped — never toward skipping a placeable one.
-	now := rm.eng.Now()
+	now := rm.shard.Now()
 	oldest := rm.oldestConstrainedEnqueue()
 	rackEligible := oldest >= 0 && now-oldest >= rm.RackDelay
 	offRackEligible := oldest >= 0 && now-oldest >= rm.OffRackDelay
@@ -517,12 +572,13 @@ func (rm *ResourceManager) assign() {
 					// a 10k-node cluster from O(nodes) into O(1).
 					break
 				}
-				node := rm.c.Nodes[(rm.assignCur+i)%n]
-				if rm.nodeDown[node.ID] || (rm.blacklisted[node.ID] && !ignoreBlacklist) {
+				node := rm.nodes[(rm.assignCur+i)%n]
+				nid := node.ID - rm.baseID
+				if rm.nodeDown[nid] || (rm.blacklisted[nid] && !ignoreBlacklist) {
 					continue
 				}
 				if rm.unconstrained == 0 && !offRackEligible &&
-					rm.prefNode[node.ID] == 0 &&
+					rm.prefNode[nid] == 0 &&
 					(!rackEligible || rm.prefRack[node.Rack] == 0) {
 					// No request may place here: selectRequest would
 					// return nil for every app the scheduler could pick,
@@ -578,7 +634,7 @@ func (rm *ResourceManager) hasPending() bool {
 // duplicate's kick would find assigning already set — so it is
 // coalesced away.
 func (rm *ResourceManager) scheduleRelaxRetry() {
-	now := rm.eng.Now()
+	now := rm.shard.Now()
 	earliest := -1.0
 	for _, app := range rm.apps {
 		for _, req := range app.pending {
@@ -615,7 +671,7 @@ func (rm *ResourceManager) scheduleRelaxRetry() {
 // only after the request has waited past the delay-scheduling
 // thresholds.
 func (rm *ResourceManager) selectRequest(app *App, node *cluster.Node, minAge float64) *Request {
-	now := rm.eng.Now()
+	now := rm.shard.Now()
 	var rackLocal, relaxed, unconstrained *Request
 	for _, req := range app.pending {
 		if !rm.fits(node, req.Resource) {
@@ -660,8 +716,9 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 	if err := node.Mem.Allocate(req.Resource.MemMB); err != nil {
 		panic(fmt.Sprintf("yarn: placement race: %v", err))
 	}
-	rm.nodeUsedMem[node.ID] += req.Resource.MemMB // mirrors MemPool.Allocate
-	rm.nodeUsedVC[node.ID] += req.Resource.VCores
+	nid := node.ID - rm.baseID
+	rm.nodeUsedMem[nid] += req.Resource.MemMB // mirrors MemPool.Allocate
+	rm.nodeUsedVC[nid] += req.Resource.VCores
 	if !app.CancelRequest(req) {
 		panic("yarn: placed request not pending")
 	}
@@ -686,7 +743,7 @@ func (rm *ResourceManager) place(app *App, req *Request, node *cluster.Node) {
 		if cont.released {
 			return // reclaimed by a node-loss declaration in the window
 		}
-		if rm.nodeDown[node.ID] {
+		if rm.nodeDown[nid] {
 			// The node died inside the scheduling-delay window; the
 			// launch never happens. Reclaim the container right away
 			// (its loss notification would otherwise wait for expiry).
